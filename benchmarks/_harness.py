@@ -1,0 +1,174 @@
+"""Shared experiment harness for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down size (the real corpora are 5M–13.9M rows; the analogs run
+thousands).  Expensive artifacts — setting splits and fitted models —
+are cached per ``(dataset, setting)`` cell so Table II / Fig. 5 reuse
+Table I's models instead of retraining.
+
+Absolute AUCC values will not match the paper (different substrate);
+what the benches check and print is the *shape*: method ordering,
+setting ordering, and the rDRP-vs-DRP deltas.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.tpm import TPM_VARIANTS, make_tpm
+from repro.core.calibration import combine_point_and_std
+from repro.core.direct_rank import DirectRank
+from repro.core.rdrp import RobustDRP
+from repro.data.settings import SETTING_NAMES, SettingData, make_setting
+from repro.metrics.aucc import aucc
+
+# ---------------------------------------------------------------------------
+# scaled-down experiment configuration
+# ---------------------------------------------------------------------------
+N_SUFFICIENT = 9000
+SEED = 0
+DRP_PARAMS = dict(hidden=48, epochs=80, n_restarts=2)
+MC_SAMPLES = 20
+DATASETS = ("criteo", "meituan", "alibaba")
+
+_setting_cache: dict[tuple[str, str], SettingData] = {}
+_model_cache: dict[tuple[str, str, str], object] = {}
+
+
+def get_setting(dataset: str, setting: str) -> SettingData:
+    """Cached train/calibration/test triple for one Table-I cell."""
+    key = (dataset, setting)
+    if key not in _setting_cache:
+        _setting_cache[key] = make_setting(
+            dataset, setting, n_sufficient=N_SUFFICIENT, random_state=SEED
+        )
+    return _setting_cache[key]
+
+
+def get_rdrp(dataset: str, setting: str) -> RobustDRP:
+    """Cached fitted+calibrated rDRP (its ``.drp`` is the DRP arm)."""
+    key = (dataset, setting, "rdrp")
+    if key not in _model_cache:
+        data = get_setting(dataset, setting)
+        model = RobustDRP(random_state=SEED, mc_samples=MC_SAMPLES, **DRP_PARAMS)
+        model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
+        model.calibrate(
+            data.calibration.x,
+            data.calibration.t,
+            data.calibration.y_r,
+            data.calibration.y_c,
+        )
+        _model_cache[key] = model
+    return _model_cache[key]
+
+
+def get_dr(dataset: str, setting: str) -> DirectRank:
+    """Cached fitted Direct Rank baseline."""
+    key = (dataset, setting, "dr")
+    if key not in _model_cache:
+        data = get_setting(dataset, setting)
+        model = DirectRank(hidden=48, epochs=60, random_state=SEED)
+        model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
+        _model_cache[key] = model
+    return _model_cache[key]
+
+
+def evaluate(roi_pred: np.ndarray, data: SettingData) -> float:
+    """Test-set AUCC of a ranking."""
+    te = data.test
+    return aucc(roi_pred, te.t, te.y_r, te.y_c)
+
+
+# ---------------------------------------------------------------------------
+# the ten Table-I methods
+# ---------------------------------------------------------------------------
+def run_tpm_variant(variant: str, dataset: str, setting: str) -> float:
+    data = get_setting(dataset, setting)
+    tr = data.train
+    tpm = make_tpm(variant, random_state=SEED, fast=True)
+    tpm.fit(tr.x, tr.y_r, tr.y_c, tr.t)
+    return evaluate(tpm.predict_roi(data.test.x), data)
+
+
+def run_dr(dataset: str, setting: str) -> float:
+    data = get_setting(dataset, setting)
+    return evaluate(get_dr(dataset, setting).predict_roi(data.test.x), data)
+
+
+def run_drp(dataset: str, setting: str) -> float:
+    data = get_setting(dataset, setting)
+    return evaluate(get_rdrp(dataset, setting).drp.predict_roi(data.test.x), data)
+
+
+def run_rdrp(dataset: str, setting: str) -> float:
+    data = get_setting(dataset, setting)
+    return evaluate(get_rdrp(dataset, setting).predict_roi(data.test.x), data)
+
+
+# ---------------------------------------------------------------------------
+# Table II ablation arms
+# ---------------------------------------------------------------------------
+def run_dr_mc(dataset: str, setting: str) -> float:
+    """DR w/ MC: MC-dropout model averaging of the DR scores."""
+    data = get_setting(dataset, setting)
+    mean, std = get_dr(dataset, setting).predict_roi_mc(
+        data.test.x, n_samples=MC_SAMPLES
+    )
+    return evaluate(combine_point_and_std(mean, std, how="mean"), data)
+
+
+def run_drp_mc(dataset: str, setting: str) -> float:
+    """DRP w/ MC: MC-dropout model averaging of the DRP ROI estimates."""
+    data = get_setting(dataset, setting)
+    mean, std = get_rdrp(dataset, setting).drp.predict_roi_mc(
+        data.test.x, n_samples=MC_SAMPLES
+    )
+    return evaluate(combine_point_and_std(mean, std, how="mean"), data)
+
+
+def run_drp_mc_cp(dataset: str, setting: str) -> float:
+    """DRP w/ MC w/ CP == rDRP (Table II's full method)."""
+    return run_rdrp(dataset, setting)
+
+
+TABLE1_METHODS = tuple(f"TPM-{v}" for v in TPM_VARIANTS) + ("DR", "DRP", "rDRP")
+
+
+def run_table1_method(method: str, dataset: str, setting: str) -> float:
+    if method.startswith("TPM-"):
+        return run_tpm_variant(method[4:], dataset, setting)
+    if method == "DR":
+        return run_dr(dataset, setting)
+    if method == "DRP":
+        return run_drp(dataset, setting)
+    if method == "rDRP":
+        return run_rdrp(dataset, setting)
+    raise ValueError(f"Unknown Table-I method {method!r}")
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+__all__ = [
+    "DATASETS",
+    "MC_SAMPLES",
+    "SETTING_NAMES",
+    "TABLE1_METHODS",
+    "evaluate",
+    "get_dr",
+    "get_rdrp",
+    "get_setting",
+    "print_header",
+    "run_dr",
+    "run_dr_mc",
+    "run_drp",
+    "run_drp_mc",
+    "run_drp_mc_cp",
+    "run_rdrp",
+    "run_table1_method",
+    "run_tpm_variant",
+]

@@ -1,0 +1,77 @@
+"""Fig. 1: the two DRP failure modes that motivate rDRP.
+
+(a) Covariate shift: the same sufficiently-trained DRP model evaluated
+    on an unshifted vs a shifted test set — the shifted cost curve
+    should enclose less area.
+(b) Insufficient data: DRP trained on the full vs the 0.15-subsampled
+    training split, both evaluated on the same unshifted test set.
+
+Both panels print the (area vs random-baseline) rows the figure plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import evaluate, get_rdrp, get_setting, print_header
+
+
+def test_fig1a_covariate_shift(benchmark) -> None:
+    def run_panel() -> dict[str, float]:
+        no_shift = get_setting("criteo", "SuNo")
+        with_shift = get_setting("criteo", "SuCo")
+        model = get_rdrp("criteo", "SuNo").drp  # trained on unshifted data
+        rng = np.random.default_rng(0)
+        return {
+            "DRP (no covariate shift)": evaluate(
+                model.predict_roi(no_shift.test.x), no_shift
+            ),
+            "DRP (covariate shift)": evaluate(
+                model.predict_roi(with_shift.test.x), with_shift
+            ),
+            "Random": float(
+                np.mean(
+                    [
+                        evaluate(rng.random(no_shift.test.n), no_shift)
+                        for _ in range(5)
+                    ]
+                )
+            ),
+        }
+
+    areas = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    print_header("Fig. 1(a) — covariate shift degrades DRP (AUCC)")
+    for name, area in areas.items():
+        print(f"  {name:<28s} {area:.4f}")
+    assert areas["DRP (no covariate shift)"] > areas["Random"] - 0.05
+
+
+def test_fig1b_insufficient_data(benchmark) -> None:
+    def run_panel() -> dict[str, float]:
+        sufficient = get_setting("criteo", "SuNo")
+        insufficient = get_setting("criteo", "InNo")
+        model_su = get_rdrp("criteo", "SuNo").drp
+        model_in = get_rdrp("criteo", "InNo").drp
+        rng = np.random.default_rng(0)
+        return {
+            "DRP (sufficient data)": evaluate(
+                model_su.predict_roi(sufficient.test.x), sufficient
+            ),
+            "DRP (insufficient data)": evaluate(
+                model_in.predict_roi(insufficient.test.x), insufficient
+            ),
+            "Random": float(
+                np.mean(
+                    [
+                        evaluate(rng.random(sufficient.test.n), sufficient)
+                        for _ in range(5)
+                    ]
+                )
+            ),
+        }
+
+    areas = benchmark.pedantic(run_panel, rounds=1, iterations=1)
+    print_header("Fig. 1(b) — insufficient data degrades DRP (AUCC)")
+    for name, area in areas.items():
+        print(f"  {name:<28s} {area:.4f}")
+    assert areas["DRP (sufficient data)"] > areas["Random"] - 0.05

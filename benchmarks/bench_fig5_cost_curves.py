@@ -1,0 +1,59 @@
+"""Fig. 5: ablation cost curves on the CRITEO analog, four settings.
+
+For each setting, prints the sampled (incremental cost, incremental
+reward) polyline of every ablation arm plus the random diagonal — the
+exact series Fig. 5 plots — and the area under each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import MC_SAMPLES, SETTING_NAMES, get_dr, get_rdrp, get_setting, print_header
+from repro.core.calibration import combine_point_and_std
+from repro.metrics.aucc import cost_curve
+
+CURVE_POINTS = 11  # decile sampling, like the figure
+
+
+def _curves_for_setting(setting: str) -> dict[str, object]:
+    data = get_setting("criteo", setting)
+    te = data.test
+    rdrp = get_rdrp("criteo", setting)
+    dr = get_dr("criteo", setting)
+
+    dr_mc_mean, dr_mc_std = dr.predict_roi_mc(te.x, n_samples=MC_SAMPLES)
+    drp_mc_mean, drp_mc_std = rdrp.drp.predict_roi_mc(te.x, n_samples=MC_SAMPLES)
+
+    predictions = {
+        "DR": dr.predict_roi(te.x),
+        "DR w/ MC": combine_point_and_std(dr_mc_mean, dr_mc_std, how="mean"),
+        "DRP": rdrp.drp.predict_roi(te.x),
+        "DRP w/ MC": combine_point_and_std(drp_mc_mean, drp_mc_std, how="mean"),
+        "DRP w/ MC w/ CP": rdrp.predict_roi(te.x),
+        "Random": np.random.default_rng(0).random(te.n),
+    }
+    return {
+        name: cost_curve(pred, te.t, te.y_r, te.y_c, n_points=CURVE_POINTS)
+        for name, pred in predictions.items()
+    }
+
+
+@pytest.mark.parametrize("setting", SETTING_NAMES)
+def test_fig5_panel(benchmark, setting: str) -> None:
+    curves = benchmark.pedantic(_curves_for_setting, args=(setting,), rounds=1, iterations=1)
+
+    print_header(f"Fig. 5 — ablation cost curves, criteo, {setting}")
+    for name, curve in curves.items():
+        xs = " ".join(f"{v:.2f}" for v in curve.cost)
+        ys = " ".join(f"{v:.2f}" for v in curve.reward)
+        print(f"  {name:<18s} area={curve.area:.4f}")
+        print(f"    cost:   {xs}")
+        print(f"    reward: {ys}")
+
+    # every curve starts at the origin and ends at (1, 1)
+    for curve in curves.values():
+        assert curve.cost[0] == 0.0 and curve.reward[0] == 0.0
+        assert curve.cost[-1] == pytest.approx(1.0)
+        assert curve.reward[-1] == pytest.approx(1.0)

@@ -1,0 +1,46 @@
+"""Table II: ablation of the MC and CP components.
+
+Per (dataset, setting) cell: DR, DR w/ MC, DRP, DRP w/ MC, and
+DRP w/ MC w/ CP (= rDRP).  Paper shape: adding MC improves DR and DRP;
+adding CP improves DRP w/ MC further; gains grow from Su* to In*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    DATASETS,
+    SETTING_NAMES,
+    print_header,
+    run_dr,
+    run_dr_mc,
+    run_drp,
+    run_drp_mc,
+    run_drp_mc_cp,
+)
+
+ABLATION_ARMS = (
+    ("DR", run_dr),
+    ("DR w/ MC", run_dr_mc),
+    ("DRP", run_drp),
+    ("DRP w/ MC", run_drp_mc),
+    ("DRP w/ MC w/ CP", run_drp_mc_cp),
+)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("setting", SETTING_NAMES)
+def test_table2_cell(benchmark, dataset: str, setting: str) -> None:
+    def run_cell() -> dict[str, float]:
+        return {name: runner(dataset, setting) for name, runner in ABLATION_ARMS}
+
+    scores = benchmark.pedantic(run_cell, rounds=1, iterations=1)
+
+    print_header(f"Table II cell — dataset={dataset}, setting={setting} (AUCC)")
+    for name, score in scores.items():
+        print(f"  {name:<18s} {score:.4f}")
+
+    assert all(0.0 <= s <= 1.0 for s in scores.values())
+    # the full method must not regress materially against plain DRP
+    assert scores["DRP w/ MC w/ CP"] >= scores["DRP"] - 0.05

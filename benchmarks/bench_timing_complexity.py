@@ -1,0 +1,99 @@
+"""Section IV-D: time-complexity profile of rDRP vs DRP.
+
+The paper's claims, reproduced empirically:
+
+* Training phase: identical (rDRP *is* DRP at train time).
+* Calibration phase: rDRP-only, O(N_cali (k + log N_cali)) — the bench
+  shows near-linear scaling in the calibration size.
+* Inference phase: rDRP costs ~T MC passes per sample vs 1 for DRP
+  (parallelisable in production).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _harness import MC_SAMPLES, get_rdrp, get_setting, print_header
+from repro.core.rdrp import RobustDRP
+
+
+def test_calibration_phase_scaling(benchmark) -> None:
+    """Calibration wall-clock vs N_cali (paper: quasi-linear)."""
+
+    def run() -> list[tuple[int, float]]:
+        data = get_setting("criteo", "SuNo")
+        base = get_rdrp("criteo", "SuNo")
+        rows = []
+        sizes = (300, 600, min(1200, data.calibration.n))
+        for n_cali in sizes:
+            ca = data.calibration.subset(np.arange(n_cali))
+            model = RobustDRP(drp=base.drp, mc_samples=MC_SAMPLES)
+            start = time.perf_counter()
+            model.calibrate(ca.x, ca.t, ca.y_r, ca.y_c)
+            rows.append((n_cali, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("§IV-D — calibration phase scaling")
+    for n_cali, seconds in rows:
+        print(f"  N_cali={n_cali:<6d} {seconds * 1000:8.1f} ms")
+    # quasi-linear: 4x the data should cost well under ~10x the time
+    assert rows[-1][1] < rows[0][1] * 10 + 0.5
+
+
+def test_inference_phase_overhead(benchmark) -> None:
+    """rDRP inference ~= T MC passes; DRP inference = 1 pass."""
+
+    def run() -> dict[str, float]:
+        data = get_setting("criteo", "SuNo")
+        model = get_rdrp("criteo", "SuNo")
+        x = data.test.x
+
+        start = time.perf_counter()
+        model.drp.predict_roi(x)
+        drp_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        model.predict_roi(x)
+        rdrp_seconds = time.perf_counter() - start
+        return {"DRP": drp_seconds, "rDRP": rdrp_seconds}
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("§IV-D — inference phase (seconds, full test split)")
+    ratio = timings["rDRP"] / max(timings["DRP"], 1e-9)
+    for name, seconds in timings.items():
+        print(f"  {name:<6s} {seconds * 1000:8.1f} ms")
+    print(f"  ratio rDRP/DRP = {ratio:.1f}x (T = {MC_SAMPLES} MC passes)")
+    # the overhead should be on the order of T single passes (loose bound)
+    assert ratio < MC_SAMPLES * 6
+
+
+def test_training_phase_identical(benchmark) -> None:
+    """rDRP adds nothing at training time — it trains the same DRP."""
+
+    def run() -> dict[str, float]:
+        data = get_setting("criteo", "InNo")
+        tr = data.train
+        from repro.core.drp import DRPModel
+
+        start = time.perf_counter()
+        DRPModel(hidden=32, epochs=20, n_restarts=1, random_state=0).fit(
+            tr.x, tr.t, tr.y_r, tr.y_c
+        )
+        drp_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        RobustDRP(hidden=32, epochs=20, n_restarts=1, random_state=0).fit(
+            tr.x, tr.t, tr.y_r, tr.y_c
+        )
+        rdrp_seconds = time.perf_counter() - start
+        return {"DRP": drp_seconds, "rDRP": rdrp_seconds}
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("§IV-D — training phase (seconds, InNo split)")
+    for name, seconds in timings.items():
+        print(f"  {name:<6s} {seconds:8.3f} s")
+    assert timings["rDRP"] == pytest.approx(timings["DRP"], rel=1.0)

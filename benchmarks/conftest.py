@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+All benchmarks use ``benchmark.pedantic(..., rounds=1, iterations=1)``:
+each cell is a full train/evaluate experiment, not a microbenchmark, so
+re-running it for statistical timing would multiply the suite's wall
+clock for no insight.
+"""
+
+import sys
+from pathlib import Path
+
+# make the sibling _harness module importable regardless of rootdir
+sys.path.insert(0, str(Path(__file__).parent))

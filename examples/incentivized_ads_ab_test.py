@@ -1,0 +1,77 @@
+"""Incentivized-advertising A/B test (the paper's §V-C online study).
+
+Simulates five days of rewarded-ads traffic on a short-video platform:
+each day's viewers are split across three arms — DRP, rDRP and a random
+control — every arm gets the same coin budget, and the platform
+realises ad revenue from the ground-truth effects.  Prints the Fig.-6
+series (incremental revenue % over the random arm per day) for a
+workday-trained model deployed into a holiday (covariate-shifted)
+traffic mix.
+
+Run:
+    python examples/incentivized_ads_ab_test.py [--days 5] [--cohort 6000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--cohort", type=int, default=6000, help="daily viewers")
+    parser.add_argument("--n", type=int, default=10000, help="training corpus size")
+    parser.add_argument(
+        "--shifted",
+        action="store_true",
+        default=True,
+        help="deploy into holiday (covariate-shifted) traffic",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    setting = "InCo" if args.shifted else "InNo"
+    print(f"== Training DRP/rDRP on workday data ({setting} scenario) ==")
+    data = repro.make_setting("criteo", setting, n_sufficient=args.n, random_state=args.seed)
+    model = repro.RobustDRP(random_state=args.seed, hidden=48, epochs=80, mc_samples=20)
+    model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
+    model.calibrate(
+        data.calibration.x, data.calibration.t, data.calibration.y_r, data.calibration.y_c
+    )
+    print(f"selected calibration form: {model.selected_form}")
+
+    print(f"\n== Running the {args.days}-day A/B test ==")
+    platform = repro.Platform(
+        dataset="criteo", shifted=args.shifted, random_state=args.seed + 7
+    )
+    ab = repro.ABTest(
+        platform,
+        {"DRP": model.drp.predict_roi, "rDRP": model.predict_roi},
+        budget_fraction=0.3,
+        random_state=args.seed,
+    )
+    result = ab.run(n_days=args.days, cohort_size=args.cohort)
+
+    print("\nday  " + "  ".join(f"{arm:>8s}" for arm in ("DRP", "rDRP")))
+    uplift = result.uplift_vs_random
+    for day in range(args.days):
+        print(
+            f"{day + 1:>3d}  "
+            + "  ".join(f"{uplift[arm][day]:+7.2f}%" for arm in ("DRP", "rDRP"))
+        )
+    means = result.mean_uplift()
+    print("mean " + "  ".join(f"{means[arm]:+7.2f}%" for arm in ("DRP", "rDRP")))
+
+    print("\nper-day spend and treated counts (arm budgets are equal):")
+    for day_result in result.days:
+        treated = ", ".join(f"{arm}={n}" for arm, n in sorted(day_result.n_treated.items()))
+        print(f"  day {day_result.day}: {treated}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Multiple coupon face values via Divide-and-Conquer rDRP (paper §VI).
+
+The binary rDRP cannot pick *which* of several coupon denominations a
+user should get.  The paper's Discussion prescribes Divide and Conquer:
+one binary rDRP per denomination (control vs that denomination), then
+allocate over (user, denomination) pairs.  This example runs it on a
+three-level synthetic coupon RCT with a concave dose response (bigger
+coupons cost proportionally more but convert less per unit).
+
+Run:
+    python examples/multi_treatment_coupons.py [--n 9000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.data.multi import MultiTreatmentRCT
+
+
+def split_multi(data: MultiTreatmentRCT, fractions=(0.6, 0.2, 0.2), seed=0):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(data.n)
+    out = []
+    start = 0
+    for fraction in fractions:
+        size = int(round(fraction * data.n))
+        idx = perm[start : start + size]
+        out.append(
+            MultiTreatmentRCT(
+                x=data.x[idx],
+                t=data.t[idx],
+                y_r=data.y_r[idx],
+                y_c=data.y_c[idx],
+                tau_r=data.tau_r[idx],
+                tau_c=data.tau_c[idx],
+                roi=data.roi[idx],
+                name=data.name,
+                feature_names=list(data.feature_names),
+            )
+        )
+        start += size
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=9000)
+    parser.add_argument("--levels", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    data = repro.multi_treatment_rct(
+        n=args.n, n_levels=args.levels, d=8, random_state=args.seed
+    )
+    train, calib, test = split_multi(data, seed=args.seed)
+    print(
+        f"{args.levels}-level coupon RCT: {train.n} train / {calib.n} calibration "
+        f"/ {test.n} test rows"
+    )
+    print("mean true ROI per level:", np.round(data.roi.mean(axis=0), 3))
+
+    model = repro.DivideAndConquerRDRP(
+        n_levels=args.levels,
+        random_state=args.seed,
+        hidden=32,
+        epochs=50,
+        mc_samples=15,
+    )
+    model.fit(train)
+    model.calibrate(calib)
+    print(
+        "selected calibration form per level:",
+        [m.selected_form for m in model.models],
+    )
+
+    budget = 0.2 * float(test.tau_c[:, 0].sum())
+    result = model.allocate(test.x, test.tau_c, budget)
+    counts = np.bincount(result.assignment, minlength=args.levels + 1)
+    print(f"\nbudget {budget:.1f}: treated {result.n_treated}/{test.n} users")
+    for level in range(args.levels + 1):
+        label = "untreated" if level == 0 else f"level {level}"
+        print(f"  {label:<10s} {counts[level]:>5d} users")
+
+    model_reward = float(
+        np.sum(
+            test.tau_r[
+                np.nonzero(result.assignment > 0)[0],
+                result.assignment[result.assignment > 0] - 1,
+            ]
+        )
+    )
+
+    # random baseline: same budget, random (user, level) assignment
+    rng = np.random.default_rng(args.seed)
+    random_rewards = []
+    for _ in range(5):
+        assignment = np.zeros(test.n, dtype=np.int64)
+        remaining = budget
+        for user in rng.permutation(test.n):
+            level = int(rng.integers(0, args.levels))
+            cost = float(test.tau_c[user, level])
+            if cost <= remaining:
+                assignment[user] = level + 1
+                remaining -= cost
+        treated = assignment > 0
+        random_rewards.append(
+            float(np.sum(test.tau_r[np.nonzero(treated)[0], assignment[treated] - 1]))
+        )
+    random_reward = float(np.mean(random_rewards))
+
+    print(f"\nexpected incremental conversions — D&C rDRP: {model_reward:.1f}")
+    print(f"expected incremental conversions — random:   {random_reward:.1f}")
+    print(f"-> lift over random: {model_reward / max(random_reward, 1e-9) - 1:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Conformal ROI intervals: validity, widths, and what they flag.
+
+Demonstrates the statistical core of rDRP (Eq. 3 / Algorithm 3 / Eq. 4):
+
+1. calibrate conformal intervals at several error rates alpha and check
+   the empirical coverage of the test-set surrogate labels roi*;
+2. show that intervals widen as alpha shrinks;
+3. list the test individuals with the widest intervals — the ones whose
+   DRP point estimates the model itself flags as least reliable, which
+   is the signal rDRP's heuristic calibration consumes.
+
+Run:
+    python examples/uncertainty_intervals.py [--n 10000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.core.conformal import ConformalCalibrator, empirical_coverage
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=10000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    data = repro.make_setting("criteo", "InNo", n_sufficient=args.n, random_state=args.seed)
+    model = repro.RobustDRP(random_state=args.seed, hidden=48, epochs=80, mc_samples=30)
+    model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
+
+    ca, te = data.calibration, data.test
+    roi_hat_ca, r_ca = model.drp.predict_roi_mc(ca.x, n_samples=30)
+    roi_star_ca = model.roi_star_estimator.estimate(roi_hat_ca, ca.t, ca.y_r, ca.y_c)
+    roi_hat_te, r_te = model.drp.predict_roi_mc(te.x, n_samples=30)
+    roi_star_te = model.roi_star_estimator.estimate(roi_hat_te, te.t, te.y_r, te.y_c)
+
+    print("== Eq. 4 coverage sweep (target vs empirical) ==")
+    print(f"{'alpha':<8s}{'target':<10s}{'coverage':<12s}{'mean width'}")
+    for alpha in (0.05, 0.1, 0.2, 0.4):
+        calibrator = ConformalCalibrator(alpha=alpha)
+        calibrator.calibrate(roi_star_ca, roi_hat_ca, r_ca)
+        lower, upper = calibrator.interval(roi_hat_te, r_te)
+        coverage = empirical_coverage(roi_star_te, lower, upper)
+        print(f"{alpha:<8.2f}{1 - alpha:<10.2f}{coverage:<12.3f}{np.mean(upper - lower):.3f}")
+
+    print("\n== The ten least-reliable point estimates (widest intervals) ==")
+    calibrator = ConformalCalibrator(alpha=0.1)
+    calibrator.calibrate(roi_star_ca, roi_hat_ca, r_ca)
+    lower, upper = calibrator.interval(roi_hat_te, r_te)
+    width = upper - lower
+    worst = np.argsort(-width)[:10]
+    print(f"{'rank':<6s}{'roi_hat':<10s}{'interval':<20s}{'true roi'}")
+    for rank, i in enumerate(worst, start=1):
+        interval = f"[{lower[i]:.3f}, {upper[i]:.3f}]"
+        print(f"{rank:<6d}{roi_hat_te[i]:<10.3f}{interval:<20s}{te.roi[i]:.3f}")
+
+    narrow = width < np.median(width)
+    err_narrow = float(np.mean(np.abs(roi_hat_te[narrow] - te.roi[narrow])))
+    err_wide = float(np.mean(np.abs(roi_hat_te[~narrow] - te.roi[~narrow])))
+    print(f"\nmean |error| with narrow intervals: {err_narrow:.3f}")
+    print(f"mean |error| with wide   intervals: {err_wide:.3f}")
+    print(
+        "(On the authors' production stack wide intervals predicted larger "
+        "errors; with a laptop-scale numpy MLP the MC-dropout std is a much "
+        "weaker error signal — see EXPERIMENTS.md for the discussion.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""repro — *Improve ROI with Causal Learning and Conformal Prediction* (ICDE 2024).
+
+A from-scratch reproduction of the rDRP system: the DRP direct-ROI
+uplift model, Monte-Carlo-dropout uncertainty, conformal prediction
+intervals, heuristic point-estimate calibration, the full TPM baseline
+zoo, synthetic analogs of the paper's three datasets, the AUCC metric,
+and a simulated online A/B platform.
+
+Quickstart
+----------
+>>> from repro import RobustDRP, make_setting, aucc
+>>> data = make_setting("criteo", "InCo", random_state=0)
+>>> model = RobustDRP(random_state=0)
+>>> model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
+>>> model.calibrate(data.calibration.x, data.calibration.t,
+...                 data.calibration.y_r, data.calibration.y_c)
+>>> froi = model.predict_roi(data.test.x)
+>>> aucc(froi, data.test.t, data.test.y_r, data.test.y_c)  # doctest: +SKIP
+"""
+
+from repro.ab import ABTest, Platform
+from repro.causal import (
+    CausalForestUplift,
+    DragonNet,
+    OffsetNet,
+    SLearner,
+    SNet,
+    TARNet,
+    TLearner,
+    TwoPhaseMethod,
+    XLearner,
+    make_tpm,
+)
+from repro.core import (
+    ConformalCalibrator,
+    DirectRank,
+    DivideAndConquerRDRP,
+    DRPModel,
+    HeuristicCalibration,
+    IsotonicRoiRecalibration,
+    RobustDRP,
+    RoiStarEstimator,
+    binary_search_roi_star,
+    greedy_allocation,
+    greedy_allocation_by_roi,
+    pav_isotonic,
+)
+from repro.data import (
+    MultiTreatmentRCT,
+    RCTDataset,
+    alibaba_lift,
+    criteo_uplift_v2,
+    exponential_tilt_shift,
+    make_setting,
+    meituan_lift,
+    multi_treatment_rct,
+)
+from repro.metrics import aucc, cost_curve, qini_coefficient
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABTest",
+    "CausalForestUplift",
+    "ConformalCalibrator",
+    "DRPModel",
+    "DirectRank",
+    "DivideAndConquerRDRP",
+    "DragonNet",
+    "MultiTreatmentRCT",
+    "multi_treatment_rct",
+    "HeuristicCalibration",
+    "IsotonicRoiRecalibration",
+    "OffsetNet",
+    "pav_isotonic",
+    "Platform",
+    "RCTDataset",
+    "RobustDRP",
+    "RoiStarEstimator",
+    "SLearner",
+    "SNet",
+    "TARNet",
+    "TLearner",
+    "TwoPhaseMethod",
+    "XLearner",
+    "alibaba_lift",
+    "aucc",
+    "binary_search_roi_star",
+    "cost_curve",
+    "criteo_uplift_v2",
+    "exponential_tilt_shift",
+    "greedy_allocation",
+    "greedy_allocation_by_roi",
+    "make_setting",
+    "make_tpm",
+    "meituan_lift",
+    "qini_coefficient",
+    "__version__",
+]

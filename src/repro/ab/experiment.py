@@ -1,0 +1,154 @@
+"""The N-arm A/B test harness (Fig. 6 protocol).
+
+Each day's cohort is randomly partitioned across the arms (DRP, rDRP,
+Random Control in the paper — any mapping of name → scoring policy
+here).  Every arm receives the same per-user reward budget; arms
+differ only in the ordering they treat users in.  The reported series
+is each model arm's incremental revenue percentage over the random
+control arm, per day — exactly the quantity plotted in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ab.platform import Platform
+from repro.utils.rng import as_generator
+
+__all__ = ["ABTest", "ABTestResult", "DayResult", "RANDOM_ARM"]
+
+RANDOM_ARM = "random"
+
+# A policy maps cohort features (n, d) to ranking scores (n,)
+Policy = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class DayResult:
+    """Per-day realised outcomes per arm."""
+
+    day: int
+    revenue: dict[str, float]
+    incremental_revenue: dict[str, float]
+    spend: dict[str, float]
+    n_treated: dict[str, int]
+
+
+@dataclass
+class ABTestResult:
+    """Full A/B test record.
+
+    ``uplift_vs_random[arm]`` is the Fig.-6 series: the arm's revenue
+    increase over the random arm, in percent, for each day.
+    """
+
+    days: list[DayResult] = field(default_factory=list)
+
+    @property
+    def arm_names(self) -> list[str]:
+        return sorted(self.days[0].revenue) if self.days else []
+
+    @property
+    def uplift_vs_random(self) -> dict[str, list[float]]:
+        out: dict[str, list[float]] = {}
+        for day in self.days:
+            random_revenue = day.revenue[RANDOM_ARM]
+            for arm, revenue in day.revenue.items():
+                if arm == RANDOM_ARM:
+                    continue
+                pct = (revenue / max(random_revenue, 1e-9) - 1.0) * 100.0
+                out.setdefault(arm, []).append(pct)
+        return out
+
+    def mean_uplift(self) -> dict[str, float]:
+        """Across-day mean of the Fig.-6 series per arm."""
+        return {arm: float(np.mean(series)) for arm, series in self.uplift_vs_random.items()}
+
+
+class ABTest:
+    """Run a multi-day, multi-arm budgeted allocation experiment.
+
+    Parameters
+    ----------
+    platform:
+        The simulated traffic source.
+    policies:
+        Mapping from arm name to scoring policy.  A ``"random"`` arm is
+        always added as the control.
+    budget_fraction:
+        Per-arm budget as a fraction of the arm cohort's *expected*
+        incremental cost if everyone were treated (so each arm can
+        afford roughly this fraction of its users).
+    random_state:
+        Seed/generator for the daily partition and the random arm.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        policies: dict[str, Policy],
+        budget_fraction: float = 0.3,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if not policies:
+            raise ValueError("At least one model policy is required")
+        if RANDOM_ARM in policies:
+            raise ValueError(f"{RANDOM_ARM!r} is reserved for the control arm")
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+        self.platform = platform
+        self.policies = dict(policies)
+        self.budget_fraction = float(budget_fraction)
+        self._rng = as_generator(random_state)
+
+    def run(self, n_days: int = 5, cohort_size: int = 3000) -> ABTestResult:
+        """Execute the experiment (five days in the paper's setups)."""
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        arms = list(self.policies) + [RANDOM_ARM]
+        n_arms = len(arms)
+        per_arm = cohort_size // n_arms
+        if per_arm < 10:
+            raise ValueError(
+                f"cohort_size {cohort_size} too small for {n_arms} arms; need >= {10 * n_arms}"
+            )
+        result = ABTestResult()
+        for day in range(1, n_days + 1):
+            cohort = self.platform.daily_cohort(cohort_size, day)
+            perm = self._rng.permutation(cohort.n)
+            revenue: dict[str, float] = {}
+            incremental: dict[str, float] = {}
+            spend: dict[str, float] = {}
+            n_treated: dict[str, int] = {}
+            for a, arm in enumerate(arms):
+                idx = perm[a * per_arm : (a + 1) * per_arm]
+                group = cohort.subset(idx)
+                budget = self.budget_fraction * float(np.sum(group.tau_c))
+                if arm == RANDOM_ARM:
+                    order = self._rng.permutation(group.n)
+                else:
+                    scores = np.asarray(self.policies[arm](group.x), dtype=float).ravel()
+                    if scores.shape[0] != group.n:
+                        raise ValueError(
+                            f"Policy {arm!r} returned {scores.shape[0]} scores "
+                            f"for {group.n} users"
+                        )
+                    order = np.argsort(-scores, kind="stable")
+                outcome = self.platform.realize_arm(group, order, budget)
+                revenue[arm] = outcome["revenue"]
+                incremental[arm] = outcome["incremental_revenue"]
+                spend[arm] = outcome["spend"]
+                n_treated[arm] = outcome["n_treated"]
+            result.days.append(
+                DayResult(
+                    day=day,
+                    revenue=revenue,
+                    incremental_revenue=incremental,
+                    spend=spend,
+                    n_treated=n_treated,
+                )
+            )
+        return result

@@ -1,0 +1,33 @@
+"""Uplift-model zoo: the paper's TPM (Two-Phase Method) baselines.
+
+Phase 1 of TPM estimates incremental revenue and incremental cost with
+an uplift model; phase 2 divides the two.  The paper benchmarks seven
+phase-1 estimators — S-Learner, X-Learner, Causal Forest, DragonNet,
+TARNet, OffsetNet, SNet — all implemented here from scratch on top of
+:mod:`repro.nn`, :mod:`repro.trees` and :mod:`repro.linear`.
+"""
+
+from repro.causal.base import UpliftModel
+from repro.causal.forest_uplift import CausalForestUplift
+from repro.causal.meta.s_learner import SLearner
+from repro.causal.meta.t_learner import TLearner
+from repro.causal.meta.x_learner import XLearner
+from repro.causal.neural.dragonnet import DragonNet
+from repro.causal.neural.offsetnet import OffsetNet
+from repro.causal.neural.snet import SNet
+from repro.causal.neural.tarnet import TARNet
+from repro.causal.tpm import TwoPhaseMethod, make_tpm
+
+__all__ = [
+    "CausalForestUplift",
+    "DragonNet",
+    "OffsetNet",
+    "SLearner",
+    "SNet",
+    "TARNet",
+    "TLearner",
+    "TwoPhaseMethod",
+    "UpliftModel",
+    "XLearner",
+    "make_tpm",
+]

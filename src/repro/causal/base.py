@@ -1,0 +1,41 @@
+"""Common interface for uplift (CATE) models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_2d, check_binary, check_consistent_length
+
+__all__ = ["UpliftModel", "validate_uplift_inputs"]
+
+
+def validate_uplift_inputs(x, y, t) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and coerce the ``(X, y, t)`` triple shared by all models."""
+    x = check_2d(x)
+    y = check_1d(y)
+    t = check_binary(t)
+    check_consistent_length(x, y, t, names=("X", "y", "treatment"))
+    if np.all(t == 1) or np.all(t == 0):
+        raise ValueError("Both treated and control samples are required to fit an uplift model")
+    return x, y, t
+
+
+class UpliftModel:
+    """Abstract CATE estimator: ``fit(X, y, t)`` then ``predict_uplift(X)``.
+
+    Sub-classes estimate ``τ(x) = E[Y(1) − Y(0) | X = x]`` from RCT data
+    (Assumption 1 of the paper).  Models that also expose per-arm
+    outcome predictions override :meth:`predict_outcomes`.
+    """
+
+    def fit(self, x, y, t) -> "UpliftModel":
+        raise NotImplementedError
+
+    def predict_uplift(self, x) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict_outcomes(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """Per-arm predictions ``(μ̂₀(x), μ̂₁(x))`` when available."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose per-arm outcome predictions"
+        )

@@ -1,0 +1,51 @@
+"""Causal-forest uplift model (the paper's TPM-CF phase-1 estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.base import UpliftModel, validate_uplift_inputs
+from repro.trees.causal_forest import CausalForest
+
+__all__ = ["CausalForestUplift"]
+
+
+class CausalForestUplift(UpliftModel):
+    """Thin :class:`UpliftModel` adapter around :class:`CausalForest`.
+
+    Parameters mirror :class:`~repro.trees.causal_forest.CausalForest`.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        subsample: float = 0.7,
+        max_depth: int | None = 5,
+        min_treated_leaf: int = 10,
+        min_control_leaf: int = 10,
+        max_features: int | str | None = "sqrt",
+        honest: bool = True,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.forest = CausalForest(
+            n_estimators=n_estimators,
+            subsample=subsample,
+            max_depth=max_depth,
+            min_treated_leaf=min_treated_leaf,
+            min_control_leaf=min_control_leaf,
+            max_features=max_features,
+            honest=honest,
+            random_state=random_state,
+        )
+
+    def fit(self, x, y, t) -> "CausalForestUplift":
+        x, y, t = validate_uplift_inputs(x, y, t)
+        self.forest.fit(x, y, t)
+        return self
+
+    def predict_uplift(self, x) -> np.ndarray:
+        return self.forest.predict(x)
+
+    def predict_uplift_var(self, x) -> np.ndarray:
+        """Across-tree CATE variance (the forest's UQ signal, §II-B)."""
+        return self.forest.predict_var(x)

@@ -1,0 +1,70 @@
+"""S-Learner: a single model over the augmented feature ``[X, t]``."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.causal.base import UpliftModel, validate_uplift_inputs
+from repro.trees.forest import RandomForestRegressor
+from repro.utils.validation import check_2d
+
+__all__ = ["SLearner"]
+
+
+class SLearner(UpliftModel):
+    """Single-model meta-learner (Künzel et al., 2019).
+
+    Fits one regressor ``f(x, t)`` on the stacked feature matrix
+    ``[X | t]`` and estimates the CATE as ``f(x, 1) − f(x, 0)``.  The
+    treatment indicator competes with every other feature for splits,
+    which is why S-learners shrink effects toward zero on weak signals
+    — visible in the paper's Table I where TPM-SL trails the direct
+    methods.
+
+    Parameters
+    ----------
+    base_factory:
+        Zero-argument callable returning an unfitted regressor with a
+        ``fit(X, y)`` / ``predict(X)`` interface.  Defaults to a
+        random forest.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], object] | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.random_state = random_state
+        if base_factory is None:
+            base_factory = lambda: RandomForestRegressor(
+                n_estimators=30, max_depth=8, random_state=self.random_state
+            )
+        self.base_factory = base_factory
+        self.model_ = None
+        self._n_features: int | None = None
+
+    def fit(self, x, y, t) -> "SLearner":
+        x, y, t = validate_uplift_inputs(x, y, t)
+        self._n_features = x.shape[1]
+        augmented = np.hstack([x, t.reshape(-1, 1).astype(float)])
+        self.model_ = self.base_factory()
+        self.model_.fit(augmented, y)
+        return self
+
+    def predict_outcomes(self, x) -> tuple[np.ndarray, np.ndarray]:
+        if self.model_ is None:
+            raise RuntimeError("SLearner is not fitted; call fit() first")
+        x = check_2d(x)
+        if x.shape[1] != self._n_features:
+            raise ValueError(
+                f"X has {x.shape[1]} features but the model was fitted with {self._n_features}"
+            )
+        with_zero = np.hstack([x, np.zeros((x.shape[0], 1))])
+        with_one = np.hstack([x, np.ones((x.shape[0], 1))])
+        return self.model_.predict(with_zero), self.model_.predict(with_one)
+
+    def predict_uplift(self, x) -> np.ndarray:
+        mu0, mu1 = self.predict_outcomes(x)
+        return mu1 - mu0

@@ -1,0 +1,66 @@
+"""T-Learner: independent per-arm outcome models."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.causal.base import UpliftModel, validate_uplift_inputs
+from repro.trees.forest import RandomForestRegressor
+from repro.utils.validation import check_2d
+
+__all__ = ["TLearner"]
+
+
+class TLearner(UpliftModel):
+    """Two-model meta-learner: ``τ̂(x) = μ̂₁(x) − μ̂₀(x)``.
+
+    Fits one regressor on the treated arm and one on the control arm.
+    Serves both as a baseline in its own right and as stage 1 of the
+    :class:`~repro.causal.meta.x_learner.XLearner`.
+
+    Parameters
+    ----------
+    base_factory:
+        Zero-argument callable producing an unfitted regressor for each
+        arm.  Defaults to a random forest.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], object] | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.random_state = random_state
+        if base_factory is None:
+            base_factory = lambda: RandomForestRegressor(
+                n_estimators=30, max_depth=8, random_state=self.random_state
+            )
+        self.base_factory = base_factory
+        self.model0_ = None
+        self.model1_ = None
+        self._n_features: int | None = None
+
+    def fit(self, x, y, t) -> "TLearner":
+        x, y, t = validate_uplift_inputs(x, y, t)
+        self._n_features = x.shape[1]
+        self.model0_ = self.base_factory()
+        self.model1_ = self.base_factory()
+        self.model0_.fit(x[t == 0], y[t == 0])
+        self.model1_.fit(x[t == 1], y[t == 1])
+        return self
+
+    def predict_outcomes(self, x) -> tuple[np.ndarray, np.ndarray]:
+        if self.model0_ is None or self.model1_ is None:
+            raise RuntimeError("TLearner is not fitted; call fit() first")
+        x = check_2d(x)
+        if x.shape[1] != self._n_features:
+            raise ValueError(
+                f"X has {x.shape[1]} features but the model was fitted with {self._n_features}"
+            )
+        return self.model0_.predict(x), self.model1_.predict(x)
+
+    def predict_uplift(self, x) -> np.ndarray:
+        mu0, mu1 = self.predict_outcomes(x)
+        return mu1 - mu0

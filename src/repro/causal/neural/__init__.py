@@ -1,0 +1,8 @@
+"""Representation-learning uplift models built on :mod:`repro.nn`."""
+
+from repro.causal.neural.dragonnet import DragonNet
+from repro.causal.neural.offsetnet import OffsetNet
+from repro.causal.neural.snet import SNet
+from repro.causal.neural.tarnet import TARNet
+
+__all__ = ["DragonNet", "OffsetNet", "SNet", "TARNet"]

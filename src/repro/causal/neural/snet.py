@@ -1,0 +1,119 @@
+"""SNet (Curth & van der Schaar, AISTATS 2021), three-factor variant.
+
+The full SNet factors the input into five representations; this variant
+keeps the three that matter for binary-treatment CATE under RCT data:
+
+* ``φ_s(x)`` — shared information used by both outcome heads,
+* ``φ_0(x)`` — control-specific information,
+* ``φ_1(x)`` — treated-specific information,
+
+with heads ``μ₀ = h₀([φ_s, φ_0])``, ``μ₁ = h₁([φ_s, φ_1])`` and a
+propensity logit on ``φ_s`` (under RCT it converges to the constant
+treated fraction and acts as a representation regulariser).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.neural.base import NeuralUpliftBase, head_block, representation_block
+from repro.nn.activations import sigmoid
+from repro.nn.layers import Dense
+from repro.nn.network import Network
+
+__all__ = ["SNet"]
+
+
+class SNet(NeuralUpliftBase):
+    """Factored-representation uplift network.
+
+    Parameters
+    ----------
+    propensity_weight:
+        Weight on the propensity cross-entropy regulariser.
+    Remaining parameters as in :class:`NeuralUpliftBase`; ``hidden``
+    sets the width of each of the three representation blocks.
+    """
+
+    def __init__(
+        self,
+        hidden: int = 24,
+        epochs: int = 60,
+        batch_size: int = 256,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+        dropout: float = 0.1,
+        propensity_weight: float = 0.5,
+        random_state=None,
+    ) -> None:
+        super().__init__(
+            hidden=hidden,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            weight_decay=weight_decay,
+            dropout=dropout,
+            random_state=random_state,
+        )
+        if propensity_weight < 0:
+            raise ValueError(f"propensity_weight must be >= 0, got {propensity_weight}")
+        self.propensity_weight = float(propensity_weight)
+
+    def _build(self, input_dim: int, rng: np.random.Generator) -> None:
+        h = self.hidden
+        self.repr_shared_ = representation_block(input_dim, h, dropout=self.dropout, rng=rng)
+        self.repr0_ = representation_block(input_dim, h, dropout=self.dropout, rng=rng)
+        self.repr1_ = representation_block(input_dim, h, dropout=self.dropout, rng=rng)
+        self.head0_ = head_block(2 * h, h, rng=rng)
+        self.head1_ = head_block(2 * h, h, rng=rng)
+        self.prop_head_ = Network([Dense(h, 1, init="glorot", rng=rng)])
+        self._networks = [
+            self.repr_shared_,
+            self.repr0_,
+            self.repr1_,
+            self.head0_,
+            self.head1_,
+            self.prop_head_,
+        ]
+
+    def _train_batch(self, xb: np.ndarray, yb: np.ndarray, tb: np.ndarray) -> float:
+        h = self.hidden
+        n = xb.shape[0]
+        phi_s = self.repr_shared_.forward(xb, training=True)
+        phi_0 = self.repr0_.forward(xb, training=True)
+        phi_1 = self.repr1_.forward(xb, training=True)
+        in0 = np.hstack([phi_s, phi_0])
+        in1 = np.hstack([phi_s, phi_1])
+        pred0 = self.head0_.forward(in0, training=True)[:, 0]
+        pred1 = self.head1_.forward(in1, training=True)[:, 0]
+        logit_g = self.prop_head_.forward(phi_s, training=True)[:, 0]
+
+        treated = tb == 1
+        n1 = max(int(treated.sum()), 1)
+        n0 = max(int((~treated).sum()), 1)
+        err0 = np.where(~treated, pred0 - yb, 0.0)
+        err1 = np.where(treated, pred1 - yb, 0.0)
+        outcome_loss = float(np.sum(err0**2) / n0 + np.sum(err1**2) / n1)
+
+        tb_f = tb.astype(float)
+        prop_loss = float(
+            np.mean(np.maximum(logit_g, 0) - logit_g * tb_f + np.log1p(np.exp(-np.abs(logit_g))))
+        )
+
+        grad_in0 = self.head0_.backward((2.0 * err0 / n0).reshape(-1, 1))
+        grad_in1 = self.head1_.backward((2.0 * err1 / n1).reshape(-1, 1))
+        grad_logit = ((sigmoid(logit_g) - tb_f) / n * self.propensity_weight).reshape(-1, 1)
+        grad_phi_s = grad_in0[:, :h] + grad_in1[:, :h] + self.prop_head_.backward(grad_logit)
+        self.repr_shared_.backward(grad_phi_s)
+        self.repr0_.backward(grad_in0[:, h:])
+        self.repr1_.backward(grad_in1[:, h:])
+        return outcome_loss + self.propensity_weight * prop_loss
+
+    def predict_outcomes(self, x) -> tuple[np.ndarray, np.ndarray]:
+        x = self._check_fitted_input(x)
+        phi_s = self.repr_shared_.forward(x, training=False)
+        phi_0 = self.repr0_.forward(x, training=False)
+        phi_1 = self.repr1_.forward(x, training=False)
+        mu0 = self.head0_.forward(np.hstack([phi_s, phi_0]), training=False)[:, 0]
+        mu1 = self.head1_.forward(np.hstack([phi_s, phi_1]), training=False)[:, 0]
+        return mu0, mu1

@@ -1,0 +1,52 @@
+"""TARNet (Shalit, Johansson & Sontag, 2017).
+
+Shared representation ``φ(x)`` feeding two outcome heads ``h₀(φ)`` and
+``h₁(φ)``.  Each sample supervises only its factual head, with per-arm
+normalisation so a 50/50 RCT trains both heads at the same rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.neural.base import NeuralUpliftBase, head_block, representation_block
+from repro.nn.network import Network
+
+__all__ = ["TARNet"]
+
+
+class TARNet(NeuralUpliftBase):
+    """Treatment-Agnostic Representation Network."""
+
+    def _build(self, input_dim: int, rng: np.random.Generator) -> None:
+        self.repr_: Network = representation_block(
+            input_dim, self.hidden, depth=1, dropout=self.dropout, rng=rng
+        )
+        self.head0_: Network = head_block(self.hidden, self.hidden, rng=rng)
+        self.head1_: Network = head_block(self.hidden, self.hidden, rng=rng)
+        self._networks = [self.repr_, self.head0_, self.head1_]
+
+    def _train_batch(self, xb: np.ndarray, yb: np.ndarray, tb: np.ndarray) -> float:
+        phi = self.repr_.forward(xb, training=True)
+        pred0 = self.head0_.forward(phi, training=True)[:, 0]
+        pred1 = self.head1_.forward(phi, training=True)[:, 0]
+
+        treated = tb == 1
+        n1 = max(int(treated.sum()), 1)
+        n0 = max(int((~treated).sum()), 1)
+        err0 = np.where(~treated, pred0 - yb, 0.0)
+        err1 = np.where(treated, pred1 - yb, 0.0)
+        loss = float(np.sum(err0**2) / n0 + np.sum(err1**2) / n1)
+
+        grad0 = (2.0 * err0 / n0).reshape(-1, 1)
+        grad1 = (2.0 * err1 / n1).reshape(-1, 1)
+        grad_phi = self.head0_.backward(grad0) + self.head1_.backward(grad1)
+        self.repr_.backward(grad_phi)
+        return loss
+
+    def predict_outcomes(self, x) -> tuple[np.ndarray, np.ndarray]:
+        x = self._check_fitted_input(x)
+        phi = self.repr_.forward(x, training=False)
+        mu0 = self.head0_.forward(phi, training=False)[:, 0]
+        mu1 = self.head1_.forward(phi, training=False)[:, 0]
+        return mu0, mu1

@@ -1,0 +1,136 @@
+"""Two-Phase Method (TPM): ROI = revenue uplift / cost uplift.
+
+Phase 1 fits two independent uplift models — one for the revenue
+outcome, one for the cost outcome.  Phase 2 divides the predictions.
+This is the classical C-BTAP pipeline the paper benchmarks against; the
+division is exactly where its error amplification comes from (§I), and
+why the paper's direct methods exist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.causal.base import UpliftModel
+from repro.causal.forest_uplift import CausalForestUplift
+from repro.causal.meta.s_learner import SLearner
+from repro.causal.meta.x_learner import XLearner
+from repro.causal.neural.dragonnet import DragonNet
+from repro.causal.neural.offsetnet import OffsetNet
+from repro.causal.neural.snet import SNet
+from repro.causal.neural.tarnet import TARNet
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary,
+    check_consistent_length,
+)
+
+__all__ = ["TwoPhaseMethod", "make_tpm", "TPM_VARIANTS"]
+
+
+class TwoPhaseMethod:
+    """Compose a revenue uplift model and a cost uplift model into ROI.
+
+    Parameters
+    ----------
+    revenue_model, cost_model:
+        Unfitted :class:`~repro.causal.base.UpliftModel` instances.
+    cost_floor:
+        Denominator floor: predicted cost uplifts below this value are
+        clipped before the division.  Assumption 4 of the paper says
+        the *true* ``τ_c`` is positive, but phase-1 estimates need not
+        be — this floor is the practical guard every production TPM
+        carries (and one source of its error amplification).
+    """
+
+    def __init__(
+        self,
+        revenue_model: UpliftModel,
+        cost_model: UpliftModel,
+        cost_floor: float = 1e-4,
+    ) -> None:
+        if cost_floor <= 0:
+            raise ValueError(f"cost_floor must be > 0, got {cost_floor}")
+        self.revenue_model = revenue_model
+        self.cost_model = cost_model
+        self.cost_floor = float(cost_floor)
+        self._fitted = False
+
+    def fit(self, x, y_revenue, y_cost, t) -> "TwoPhaseMethod":
+        """Fit both phase-1 models on the same RCT sample."""
+        x = check_2d(x)
+        y_revenue = check_1d(y_revenue, "y_revenue")
+        y_cost = check_1d(y_cost, "y_cost")
+        t = check_binary(t)
+        check_consistent_length(
+            x, y_revenue, y_cost, t, names=("X", "y_revenue", "y_cost", "treatment")
+        )
+        self.revenue_model.fit(x, y_revenue, t)
+        self.cost_model.fit(x, y_cost, t)
+        self._fitted = True
+        return self
+
+    def predict_uplifts(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """Phase-1 predictions ``(τ̂_r(x), τ̂_c(x))``."""
+        if not self._fitted:
+            raise RuntimeError("TwoPhaseMethod is not fitted; call fit() first")
+        return self.revenue_model.predict_uplift(x), self.cost_model.predict_uplift(x)
+
+    def predict_roi(self, x) -> np.ndarray:
+        """Phase-2 division: ``τ̂_r / max(τ̂_c, cost_floor)``."""
+        tau_r, tau_c = self.predict_uplifts(x)
+        return tau_r / np.maximum(tau_c, self.cost_floor)
+
+
+def _variant_factories(
+    random_state: int | np.random.Generator | None,
+    fast: bool,
+) -> dict[str, Callable[[np.random.Generator], UpliftModel]]:
+    """Per-variant factories; ``fast=True`` shrinks capacity for benches."""
+    forest_trees = 20 if fast else 50
+    nn_epochs = 30 if fast else 60
+    return {
+        "SL": lambda rng: SLearner(random_state=rng),
+        "XL": lambda rng: XLearner(random_state=rng),
+        "CF": lambda rng: CausalForestUplift(
+            n_estimators=forest_trees, random_state=rng
+        ),
+        "DragonNet": lambda rng: DragonNet(epochs=nn_epochs, random_state=rng),
+        "TARNet": lambda rng: TARNet(epochs=nn_epochs, random_state=rng),
+        "OffsetNet": lambda rng: OffsetNet(epochs=nn_epochs, random_state=rng),
+        "SNet": lambda rng: SNet(epochs=nn_epochs, random_state=rng),
+    }
+
+
+TPM_VARIANTS = ("SL", "XL", "CF", "DragonNet", "TARNet", "OffsetNet", "SNet")
+
+
+def make_tpm(
+    variant: str,
+    random_state: int | np.random.Generator | None = None,
+    fast: bool = False,
+) -> TwoPhaseMethod:
+    """Build the paper's ``TPM-<variant>`` baseline by name.
+
+    Parameters
+    ----------
+    variant:
+        One of :data:`TPM_VARIANTS` (``"SL"``, ``"XL"``, ``"CF"``,
+        ``"DragonNet"``, ``"TARNet"``, ``"OffsetNet"``, ``"SNet"``).
+    random_state:
+        Seed/generator; the revenue and cost sub-models get independent
+        child streams.
+    fast:
+        Reduced-capacity configuration for benchmarks and tests.
+    """
+    factories = _variant_factories(random_state, fast)
+    if variant not in factories:
+        raise ValueError(f"Unknown TPM variant {variant!r}; choose from {TPM_VARIANTS}")
+    parent = as_generator(random_state)
+    rng_revenue, rng_cost = spawn_generators(parent, 2)
+    factory = factories[variant]
+    return TwoPhaseMethod(factory(rng_revenue), factory(rng_cost))

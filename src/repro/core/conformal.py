@@ -1,0 +1,157 @@
+"""Conformal prediction for ROI intervals (Eq. 3, Algorithm 3, Eq. 4).
+
+Split conformal prediction with the "Conformalizing Scalar Uncertainty
+Estimates" score of Angelopoulos & Bates (2021):
+
+    score(x, roi*) = |roi* − roî| / r(x)
+
+where ``roî`` is the DRP point estimate and ``r(x)`` the MC-dropout
+std.  The ``⌈(1−α)(n+1)⌉/n`` empirical quantile ``q̂`` of the
+calibration scores yields the interval
+
+    C(x) = [roî − r(x)·q̂,  roî + r(x)·q̂]
+
+with the finite-sample marginal coverage guarantee (Eq. 4)
+
+    P(roi* ∈ C(x_test)) ≥ 1 − α
+
+whenever calibration and test points are exchangeable (Assumption 6 —
+arranged in practice by running a 1–2 day RCT right before deployment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_consistent_length
+
+__all__ = [
+    "conformal_score",
+    "conformal_quantile",
+    "prediction_interval",
+    "empirical_coverage",
+    "ConformalCalibrator",
+]
+
+
+def conformal_score(
+    roi_star: np.ndarray, roi_hat: np.ndarray, r: np.ndarray
+) -> np.ndarray:
+    """Eq. 3: ``|roi* − roî| / r(x)`` elementwise.
+
+    ``r`` must be strictly positive (MC-dropout stds are floored
+    upstream for exactly this reason).
+    """
+    roi_star = check_1d(roi_star, "roi_star")
+    roi_hat = check_1d(roi_hat, "roi_hat")
+    r = check_1d(r, "r")
+    check_consistent_length(roi_star, roi_hat, r, names=("roi_star", "roi_hat", "r"))
+    if np.any(r <= 0):
+        raise ValueError("r(x) must be strictly positive; floor the MC-dropout std")
+    return np.abs(roi_star - roi_hat) / r
+
+
+def conformal_quantile(scores: np.ndarray, alpha: float) -> float:
+    """Algorithm 3 line 5: the ``⌈(1−α)(n+1)⌉/n`` empirical quantile.
+
+    The finite-sample correction ``(n+1)`` is what buys the Eq. 4
+    guarantee.  When ``⌈(1−α)(n+1)⌉ > n`` (calibration set too small
+    for the requested confidence) the quantile is the max score.
+    """
+    scores = check_1d(scores, "scores")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    n = scores.shape[0]
+    rank = int(np.ceil((1.0 - alpha) * (n + 1)))
+    if rank > n:
+        return float(np.max(scores))
+    ordered = np.sort(scores)
+    return float(ordered[rank - 1])
+
+
+def prediction_interval(
+    roi_hat: np.ndarray,
+    r: np.ndarray,
+    q_hat: float,
+    clip: tuple[float, float] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3 line 6: ``C(x) = [roî − r·q̂, roî + r·q̂]``.
+
+    ``clip`` intersects the interval with ROI's scope (Assumption 3
+    bounds ROI to (0, 1)); since the target ``roi*`` always lies inside
+    that scope, clipping never loses coverage.  Pass ``None`` for the
+    raw unbounded interval.
+    """
+    roi_hat = check_1d(roi_hat, "roi_hat")
+    r = check_1d(r, "r")
+    check_consistent_length(roi_hat, r, names=("roi_hat", "r"))
+    if q_hat < 0:
+        raise ValueError(f"q_hat must be >= 0, got {q_hat}")
+    half = r * q_hat
+    lower = roi_hat - half
+    upper = roi_hat + half
+    if clip is not None:
+        low, high = clip
+        if not low < high:
+            raise ValueError(f"clip bounds must satisfy low < high, got {clip}")
+        lower = np.clip(lower, low, high)
+        upper = np.clip(upper, low, high)
+    return lower, upper
+
+
+def empirical_coverage(
+    target: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> float:
+    """Fraction of ``target`` values inside ``[lower, upper]`` (Eq. 4 LHS)."""
+    target = check_1d(target, "target")
+    lower = check_1d(lower, "lower")
+    upper = check_1d(upper, "upper")
+    check_consistent_length(target, lower, upper, names=("target", "lower", "upper"))
+    return float(np.mean((target >= lower) & (target <= upper)))
+
+
+class ConformalCalibrator:
+    """Stateful wrapper: calibrate once, produce intervals anywhere.
+
+    Parameters
+    ----------
+    alpha:
+        User-chosen error rate (Algorithm 3 line 4); the interval
+        covers ``roi*`` with probability at least ``1 − α``.
+    """
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = float(alpha)
+        self.q_hat_: float | None = None
+        self.scores_: np.ndarray | None = None
+
+    def calibrate(
+        self, roi_star: np.ndarray, roi_hat: np.ndarray, r: np.ndarray
+    ) -> "ConformalCalibrator":
+        """Compute calibration scores and the conformal quantile ``q̂``."""
+        self.scores_ = conformal_score(roi_star, roi_hat, r)
+        self.q_hat_ = conformal_quantile(self.scores_, self.alpha)
+        return self
+
+    def interval(
+        self,
+        roi_hat: np.ndarray,
+        r: np.ndarray,
+        clip: tuple[float, float] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Prediction interval ``C(x)`` for new points.
+
+        ``clip`` optionally intersects intervals with a known target
+        scope (rDRP uses (0, 1), ROI's Assumption-3 range).
+        """
+        if self.q_hat_ is None:
+            raise RuntimeError("ConformalCalibrator is not calibrated; call calibrate() first")
+        return prediction_interval(roi_hat, r, self.q_hat_, clip=clip)
+
+    @property
+    def q_hat(self) -> float:
+        if self.q_hat_ is None:
+            raise RuntimeError("ConformalCalibrator is not calibrated; call calibrate() first")
+        return self.q_hat_

@@ -1,0 +1,177 @@
+"""Extensions beyond the paper (its §VII future-work list).
+
+The paper closes asking for "a more reasonable and rigorous approach
+than the current heuristic methods" for calibrating point estimates
+with interval information.  This module implements one such approach:
+
+:class:`IsotonicRoiRecalibration` — monotone (isotonic) regression of
+the Algorithm-2 surrogate labels ``roi*`` onto the DRP ranking.  The
+calibration set is sliced into quantile bins of ``roî``; each bin's
+pooled ``roi*`` (the bin's loss-convergence ROI) becomes a target; the
+pool-adjacent-violators algorithm enforces monotonicity so the
+recalibrated scores preserve DRP's ranking *between* bins while
+correcting its scale — and, when the binned targets genuinely invert
+the model's ordering, the PAV merge flattens exactly the segments the
+model got wrong.
+
+Unlike forms 5a–5c this transform never consults the MC-dropout std,
+so it is useful precisely where the std is uninformative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.roi_star import binary_search_roi_star
+from repro.utils.validation import (
+    check_1d,
+    check_binary,
+    check_consistent_length,
+)
+
+__all__ = ["pav_isotonic", "IsotonicRoiRecalibration"]
+
+
+def pav_isotonic(values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Pool-adjacent-violators: the L2 monotone (non-decreasing) fit.
+
+    Parameters
+    ----------
+    values:
+        Target sequence in the order of the ranking.
+    weights:
+        Optional positive weights (bin sizes).
+
+    Returns
+    -------
+    numpy.ndarray
+        The isotonic sequence minimising the weighted squared error.
+    """
+    values = check_1d(values, "values")
+    n = values.shape[0]
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = check_1d(weights, "weights")
+        check_consistent_length(values, weights, names=("values", "weights"))
+        if np.any(weights <= 0):
+            raise ValueError("weights must be strictly positive")
+
+    # classic stack-based PAV: each block holds (mean, weight, count)
+    means: list[float] = []
+    block_weights: list[float] = []
+    counts: list[int] = []
+    for value, weight in zip(values, weights):
+        means.append(float(value))
+        block_weights.append(float(weight))
+        counts.append(1)
+        while len(means) > 1 and means[-2] > means[-1]:
+            w = block_weights[-2] + block_weights[-1]
+            m = (means[-2] * block_weights[-2] + means[-1] * block_weights[-1]) / w
+            c = counts[-2] + counts[-1]
+            means.pop()
+            block_weights.pop()
+            counts.pop()
+            means[-1] = m
+            block_weights[-1] = w
+            counts[-1] = c
+    out = np.empty(n)
+    pos = 0
+    for mean, count in zip(means, counts):
+        out[pos : pos + count] = mean
+        pos += count
+    return out
+
+
+class IsotonicRoiRecalibration:
+    """Recalibrate DRP point estimates onto binned ``roi*`` targets.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of quantile bins over the calibration ranking.
+    min_arm_per_bin:
+        Minimum treated *and* control samples a bin needs for its own
+        Algorithm-2 search; thinner bins are merged into neighbours.
+    eps:
+        Bisection tolerance passed to the binary search.
+    """
+
+    def __init__(
+        self, n_bins: int = 15, min_arm_per_bin: int = 10, eps: float = 1e-3
+    ) -> None:
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        if min_arm_per_bin < 1:
+            raise ValueError(f"min_arm_per_bin must be >= 1, got {min_arm_per_bin}")
+        self.n_bins = int(n_bins)
+        self.min_arm_per_bin = int(min_arm_per_bin)
+        self.eps = float(eps)
+        self.bin_centers_: np.ndarray | None = None
+        self.bin_values_: np.ndarray | None = None
+
+    def fit(self, roi_hat, t, y_r, y_c) -> "IsotonicRoiRecalibration":
+        """Learn the monotone map from calibration-set predictions.
+
+        Bins are quantiles of ``roi_hat``; each usable bin's target is
+        its pooled convergence-point ROI (Algorithm 2); PAV enforces
+        monotonicity across bins.
+        """
+        roi_hat = check_1d(roi_hat, "roi_hat")
+        t = check_binary(t)
+        y_r = check_1d(y_r, "y_r")
+        y_c = check_1d(y_c, "y_c")
+        check_consistent_length(roi_hat, t, y_r, y_c, names=("roi_hat", "t", "y_r", "y_c"))
+
+        n = roi_hat.shape[0]
+        n_bins = min(self.n_bins, max(2, n // max(2 * self.min_arm_per_bin, 1)))
+        order = np.argsort(roi_hat, kind="stable")
+        bin_of = np.empty(n, dtype=np.int64)
+        bin_of[order] = (np.arange(n) * n_bins) // n
+
+        centers = []
+        targets = []
+        sizes = []
+        for b in range(n_bins):
+            members = bin_of == b
+            tb = t[members]
+            n1 = int(np.sum(tb == 1))
+            n0 = int(np.sum(tb == 0))
+            if n1 < self.min_arm_per_bin or n0 < self.min_arm_per_bin:
+                continue
+            tau_c = float(y_c[members][tb == 1].mean() - y_c[members][tb == 0].mean())
+            if tau_c <= 0:
+                continue  # Assumption 4 violated in-bin: skip
+            star = binary_search_roi_star(tb, y_r[members], y_c[members], eps=self.eps)
+            centers.append(float(np.median(roi_hat[members])))
+            targets.append(star)
+            sizes.append(int(members.sum()))
+        if len(centers) < 2:
+            raise ValueError(
+                "Too few usable calibration bins; enlarge the calibration set "
+                "or lower min_arm_per_bin"
+            )
+        centers_arr = np.asarray(centers)
+        order_c = np.argsort(centers_arr)
+        self.bin_centers_ = centers_arr[order_c]
+        self.bin_values_ = pav_isotonic(
+            np.asarray(targets)[order_c], np.asarray(sizes, dtype=float)[order_c]
+        )
+        return self
+
+    def transform(self, roi_hat) -> np.ndarray:
+        """Map new predictions through the learned monotone curve.
+
+        Piecewise-linear interpolation between bin centres; inputs
+        outside the calibration range take the end values (flat
+        extrapolation keeps the output inside the observed ``roi*``
+        range).
+        """
+        if self.bin_centers_ is None or self.bin_values_ is None:
+            raise RuntimeError("IsotonicRoiRecalibration is not fitted; call fit() first")
+        roi_hat = check_1d(roi_hat, "roi_hat")
+        return np.interp(roi_hat, self.bin_centers_, self.bin_values_)
+
+    def fit_transform(self, roi_hat, t, y_r, y_c) -> np.ndarray:
+        """Convenience: fit on the data and transform it."""
+        return self.fit(roi_hat, t, y_r, y_c).transform(roi_hat)

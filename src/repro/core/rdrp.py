@@ -1,0 +1,176 @@
+"""Algorithm 4: the robust DRP (rDRP) method end-to-end.
+
+rDRP = DRP + MC dropout + conformal prediction + heuristic calibration,
+as a pure *post-processing* stage: the DRP network is trained once and
+never altered.
+
+Phases (Algorithm 4):
+
+1. **Training set** — train the DRP model.
+2. **Calibration set** (a short, freshly collected RCT so Assumption 6
+   holds) — infer ``roî``; locate ``roi*`` by binary search (Algorithm
+   2); infer the MC-dropout std ``r(x)``; compute the conformal
+   quantile ``q̂`` (Algorithm 3); select the calibration form among
+   5a–5c by calibration-set AUCC.
+3. **Test set** — infer ``roî`` and ``r(x)``, apply the selected form
+   with the stored ``q̂`` to produce ``froi(x_test)``.
+
+``froi`` then feeds Algorithm 1 (:func:`repro.core.allocation.greedy_allocation`)
+to solve C-BTAP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.calibration import HeuristicCalibration
+from repro.core.conformal import ConformalCalibrator
+from repro.core.drp import DRPModel
+from repro.core.roi_star import RoiStarEstimator
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary,
+    check_consistent_length,
+)
+
+__all__ = ["RobustDRP"]
+
+
+class RobustDRP:
+    """Robust Direct ROI Prediction (the paper's contribution).
+
+    Parameters
+    ----------
+    alpha:
+        Conformal error rate (interval covers ``roi*`` w.p. ≥ 1 − α).
+    mc_samples:
+        Number of MC-dropout passes ``T`` (10–100 in the paper).
+    roi_star_mode, roi_star_bins:
+        Granularity of the Algorithm-2 surrogate label (see
+        :class:`~repro.core.roi_star.RoiStarEstimator`).
+    candidate_forms:
+        Calibration forms offered to the selector (default 5a/5b/5c +
+        identity).
+    selection_margin:
+        Calibration-set AUCC margin a non-identity form must clear to
+        be selected (see :class:`HeuristicCalibration`).
+    use_mc_mean:
+        When True (default), the rDRP point estimate ``roî`` is the
+        MC-dropout *mean* rather than the single deterministic pass.
+        Fig. 4 of the paper runs the MC-dropout module at inference to
+        produce the std; its mean is dropout model averaging — the
+        regularisation that drives the "DRP w/ MC" gains of Table II,
+        largest exactly when training data is insufficient.
+    drp / drp_params:
+        Either a pre-built (possibly already fitted) :class:`DRPModel`
+        or keyword arguments used to construct one.
+    random_state:
+        Seed/generator for the DRP network when built here.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        mc_samples: int = 30,
+        roi_star_mode: str = "binned",
+        roi_star_bins: int = 20,
+        candidate_forms: tuple[str, ...] | None = None,
+        selection_margin: float = 0.01,
+        use_mc_mean: bool = True,
+        drp: DRPModel | None = None,
+        random_state: int | np.random.Generator | None = None,
+        **drp_params,
+    ) -> None:
+        if mc_samples < 2:
+            raise ValueError(f"mc_samples must be >= 2, got {mc_samples}")
+        self.alpha = float(alpha)
+        self.mc_samples = int(mc_samples)
+        self.use_mc_mean = bool(use_mc_mean)
+        self.drp = drp if drp is not None else DRPModel(random_state=random_state, **drp_params)
+        self.roi_star_estimator = RoiStarEstimator(mode=roi_star_mode, n_bins=roi_star_bins)
+        self.conformal = ConformalCalibrator(alpha=self.alpha)
+        self.calibration = HeuristicCalibration(
+            candidate_forms, selection_margin, random_state=random_state
+        )
+        self._calibrated = False
+
+    # ------------------------------------------------------------------
+    # Algorithm 4, phase 1: training set
+    # ------------------------------------------------------------------
+    def fit(self, x, t, y_r, y_c) -> "RobustDRP":
+        """Train the underlying DRP model (Algorithm 4 line 2)."""
+        self.drp.fit(x, t, y_r, y_c)
+        return self
+
+    # ------------------------------------------------------------------
+    # Algorithm 4, phase 2: calibration set
+    # ------------------------------------------------------------------
+    def calibrate(self, x, t, y_r, y_c) -> "RobustDRP":
+        """Run the calibration phase (Algorithm 4 lines 4–8).
+
+        The calibration data should be a *fresh* small RCT collected
+        just before deployment so its distribution matches the test
+        traffic (Assumption 6) even when the training set is shifted.
+        """
+        x = check_2d(x)
+        t = check_binary(t)
+        y_r = check_1d(y_r, "y_r")
+        y_c = check_1d(y_c, "y_c")
+        check_consistent_length(x, t, y_r, y_c, names=("X", "t", "y_r", "y_c"))
+        if np.all(t == 1) or np.all(t == 0):
+            raise ValueError("Calibration data must contain both treated and control samples")
+
+        # (i) DRP point estimates + (iii) MC-dropout std r(x)
+        roi_hat, r = self._point_and_std(x)
+        # (ii) roi* via Algorithm 2
+        roi_star = self.roi_star_estimator.estimate(roi_hat, t, y_r, y_c)
+        # (iv) conformal quantile q̂ via Algorithm 3
+        self.conformal.calibrate(roi_star, roi_hat, r)
+        # (v) select the calibration form on the calibration set
+        self.calibration.select(roi_hat, r, self.conformal.q_hat, t, y_r, y_c)
+        self._calibrated = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Algorithm 4, phase 3: test set
+    # ------------------------------------------------------------------
+    def predict_roi(self, x) -> np.ndarray:
+        """Calibrated prediction ``froi(x_test)`` (Algorithm 4 lines 10–12)."""
+        if not self._calibrated:
+            raise RuntimeError("RobustDRP is not calibrated; call calibrate() first")
+        roi_hat, r = self._point_and_std(x)
+        return self.calibration.transform(roi_hat, r, self.conformal.q_hat)
+
+    def predict_interval(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """Rigorous conformal interval ``C(x)`` for the test points (Eq. 4).
+
+        Intervals are intersected with (0, 1) — ROI's scope under
+        Assumption 3 — which never loses coverage since ``roi*`` lies
+        inside that range by construction.
+        """
+        if not self._calibrated:
+            raise RuntimeError("RobustDRP is not calibrated; call calibrate() first")
+        roi_hat, r = self._point_and_std(x)
+        return self.conformal.interval(roi_hat, r, clip=(0.0, 1.0))
+
+    def _point_and_std(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(roî, r(x))`` pair used by every rDRP stage."""
+        mc_mean, r = self.drp.predict_roi_mc(x, n_samples=self.mc_samples)
+        roi_hat = mc_mean if self.use_mc_mean else self.drp.predict_roi(x)
+        return roi_hat, r
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def selected_form(self) -> str:
+        """The calibration form chosen on the calibration set."""
+        if self.calibration.selected_form_ is None:
+            raise RuntimeError("RobustDRP is not calibrated; call calibrate() first")
+        return self.calibration.selected_form_
+
+    @property
+    def q_hat(self) -> float:
+        """The conformal score quantile ``q̂``."""
+        return self.conformal.q_hat

@@ -1,0 +1,35 @@
+"""Data substrate: synthetic RCT analogs of the paper's three datasets.
+
+The real CRITEO-UPLIFT v2 / Meituan-LIFT / Alibaba-LIFT corpora are
+multi-million-row downloads unavailable offline, so this package
+provides *structurally matched* generators with known ground truth
+(``τ_r(x) > 0``, ``τ_c(x) > 0``, ``roi(x) ∈ (0,1)`` — Assumptions 3–4),
+the same feature counts and outcome semantics, plus the covariate-shift
+and sufficiency machinery the paper's four experimental settings need.
+See DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.data.alibaba import alibaba_lift
+from repro.data.criteo import criteo_uplift_v2
+from repro.data.meituan import meituan_lift
+from repro.data.multi import MultiTreatmentRCT, multi_treatment_rct
+from repro.data.rct import RCTDataset
+from repro.data.settings import SETTING_NAMES, SettingData, load_dataset, make_setting
+from repro.data.shift import exponential_tilt_shift
+from repro.data.synthetic import SyntheticRCTConfig, generate_rct
+
+__all__ = [
+    "MultiTreatmentRCT",
+    "RCTDataset",
+    "multi_treatment_rct",
+    "SETTING_NAMES",
+    "SettingData",
+    "SyntheticRCTConfig",
+    "alibaba_lift",
+    "criteo_uplift_v2",
+    "exponential_tilt_shift",
+    "generate_rct",
+    "load_dataset",
+    "make_setting",
+    "meituan_lift",
+]

@@ -1,0 +1,70 @@
+"""CRITEO-UPLIFT v2 analog.
+
+The real dataset (Diemert et al., AdKDD 2018) has 13.9M rows, 12 dense
+anonymised features, an 85%-treated RCT assignment, and binary *visit*
+(used by the paper as the cost outcome) and *conversion* (revenue)
+labels with low positive rates.  The analog reproduces that shape:
+12 correlated continuous features, ``p_treat = 0.85``, visit-as-cost /
+conversion-as-revenue Bernoulli outcomes, and effect scales giving a
+few-percent visit lift with conversion lift a fraction of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.rct import RCTDataset
+from repro.data.synthetic import SyntheticRCTConfig, generate_rct
+from repro.utils.rng import as_generator
+
+__all__ = ["criteo_uplift_v2", "CRITEO_CONFIG"]
+
+CRITEO_CONFIG = SyntheticRCTConfig(
+    roi_low=0.08,
+    roi_high=0.85,
+    cost_low=0.05,
+    cost_high=0.40,
+    base_cost_rate=0.35,   # visit rate
+    base_revenue_rate=0.18,  # conversion rate
+    p_treat=0.85,
+    noise_scale=0.3,
+)
+
+
+def criteo_uplift_v2(
+    n: int = 20000,
+    random_state: int | np.random.Generator | None = None,
+) -> RCTDataset:
+    """Generate the CRITEO-UPLIFT v2 analog.
+
+    Parameters
+    ----------
+    n:
+        Row count (the real corpus has 13.9M; benches use thousands).
+    random_state:
+        Seed/generator.
+
+    Returns
+    -------
+    RCTDataset
+        12 features ``f0..f11``; ``y_c`` = visit, ``y_r`` = conversion.
+    """
+    if n < 10:
+        raise ValueError(f"n must be >= 10, got {n}")
+    rng = as_generator(random_state)
+    d = 12
+    # correlated dense features, like the anonymised Criteo embeddings:
+    # latent factors + idiosyncratic noise
+    n_factors = 4
+    loadings = np.random.default_rng(20180813).normal(0.0, 1.0, size=(n_factors, d)) / np.sqrt(n_factors)
+    factors = rng.normal(size=(n, n_factors))
+    x = factors @ loadings + 0.6 * rng.normal(size=(n, d))
+    feature_names = [f"f{i}" for i in range(d)]
+    return generate_rct(
+        n,
+        x,
+        CRITEO_CONFIG,
+        random_state=rng,
+        name="criteo",
+        feature_names=feature_names,
+    )

@@ -1,0 +1,152 @@
+"""Multi-level-treatment RCT generator.
+
+Supports the paper's §VI Divide-and-Conquer discussion: treatments
+``t ∈ {0, 1, …, K}`` where 0 is control and each positive level is a
+stronger (more expensive, more effective) intervention — e.g. coupon
+face values.  Level ``k``'s effects scale the structural binary effects
+by a level multiplier with diminishing ROI: doubling the incentive
+less-than-doubles the incremental revenue, the standard dose-response
+shape in incentive marketing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.rct import RCTDataset
+from repro.data.synthetic import SyntheticRCTConfig, generate_rct
+from repro.utils.rng import as_generator
+
+__all__ = ["MultiTreatmentRCT", "multi_treatment_rct"]
+
+
+@dataclass
+class MultiTreatmentRCT:
+    """An RCT with control plus ``n_levels`` treatment intensities.
+
+    Attributes
+    ----------
+    x:
+        Features ``(n, d)``.
+    t:
+        Assigned level ``(n,)`` in ``{0, …, n_levels}`` (0 = control).
+    y_r, y_c:
+        Realised outcomes under the assigned level.
+    tau_r, tau_c:
+        Ground-truth per-level effects, shape ``(n, n_levels)`` —
+        column ``k-1`` is level ``k``'s effect vs control.
+    roi:
+        Ground-truth per-level ROI, shape ``(n, n_levels)``.
+    """
+
+    x: np.ndarray
+    t: np.ndarray
+    y_r: np.ndarray
+    y_c: np.ndarray
+    tau_r: np.ndarray
+    tau_c: np.ndarray
+    roi: np.ndarray
+    name: str = "multi"
+    feature_names: list[str] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.tau_r.shape[1])
+
+    def binary_view(self, level: int) -> RCTDataset:
+        """The Divide-and-Conquer slice: control vs one level.
+
+        Keeps rows assigned level 0 or ``level`` and relabels the
+        treatment to binary — exactly the decomposition §VI prescribes
+        ("each binary treatment problem can use the rDRP method").
+        """
+        if not 1 <= level <= self.n_levels:
+            raise ValueError(f"level must be in [1, {self.n_levels}], got {level}")
+        keep = (self.t == 0) | (self.t == level)
+        idx = np.nonzero(keep)[0]
+        return RCTDataset(
+            x=self.x[idx],
+            t=(self.t[idx] == level).astype(np.int64),
+            y_r=self.y_r[idx],
+            y_c=self.y_c[idx],
+            tau_r=self.tau_r[idx, level - 1],
+            tau_c=self.tau_c[idx, level - 1],
+            roi=self.roi[idx, level - 1],
+            name=f"{self.name}-level{level}",
+            feature_names=list(self.feature_names),
+        )
+
+
+def multi_treatment_rct(
+    n: int = 20000,
+    n_levels: int = 3,
+    d: int = 10,
+    config: SyntheticRCTConfig | None = None,
+    random_state: int | np.random.Generator | None = None,
+    name: str = "multi",
+) -> MultiTreatmentRCT:
+    """Generate a control + ``n_levels`` RCT with diminishing-ROI levels.
+
+    Level ``k`` scales the binary cost effect by ``k`` and the revenue
+    effect by ``k^0.7`` (concave dose response), so higher levels cost
+    proportionally more but return less per unit — giving the allocator
+    a real level-selection problem.
+    """
+    if n_levels < 1:
+        raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+    if n < 10 * (n_levels + 1):
+        raise ValueError(f"n too small for {n_levels} levels, got {n}")
+    rng = as_generator(random_state)
+    cfg = config or SyntheticRCTConfig(
+        roi_low=0.1,
+        roi_high=0.85,
+        cost_low=0.05,
+        cost_high=0.25,
+        base_cost_rate=0.3,
+        base_revenue_rate=0.15,
+        p_treat=0.5,
+        noise_scale=0.3,
+    )
+    x = rng.normal(size=(n, d))
+    # the level-1 structural effects come from the shared binary model
+    base = generate_rct(n, x, cfg, random_state=rng, name=name)
+
+    levels = np.arange(1, n_levels + 1, dtype=float)
+    cost_scale = levels  # cost grows linearly with intensity
+    revenue_scale = levels**0.7  # concave dose response
+    tau_c = np.clip(base.tau_c[:, None] * cost_scale[None, :], 1e-4, 0.95)
+    tau_r = np.clip(base.tau_r[:, None] * revenue_scale[None, :], 1e-4, 0.95)
+    roi = tau_r / tau_c
+
+    # uniform randomised assignment over {0..K}
+    t = rng.integers(0, n_levels + 1, size=n)
+
+    # realise outcomes under the assigned level (control rates from the
+    # binary generator's realisation, lifted by the assigned effects)
+    u_c = rng.random(n)
+    u_r = rng.random(n)
+    p_c0 = np.clip(cfg.base_cost_rate + 0.0 * u_c, 1e-4, 1 - 1e-4)
+    p_r0 = np.clip(cfg.base_revenue_rate + 0.0 * u_r, 1e-4, 1 - 1e-4)
+    assigned = np.maximum(t - 1, 0)
+    lift_c = np.where(t > 0, tau_c[np.arange(n), assigned], 0.0)
+    lift_r = np.where(t > 0, tau_r[np.arange(n), assigned], 0.0)
+    y_c = (u_c < np.clip(p_c0 + lift_c, 1e-4, 1 - 1e-4)).astype(float)
+    y_r = (u_r < np.clip(p_r0 + lift_r, 1e-4, 1 - 1e-4)).astype(float)
+
+    return MultiTreatmentRCT(
+        x=x,
+        t=t.astype(np.int64),
+        y_r=y_r,
+        y_c=y_c,
+        tau_r=tau_r,
+        tau_c=tau_c,
+        roi=roi,
+        name=name,
+        feature_names=[f"f{i}" for i in range(d)],
+    )

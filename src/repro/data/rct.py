@@ -1,0 +1,133 @@
+"""The RCT dataset container shared by every generator and harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["RCTDataset"]
+
+
+@dataclass
+class RCTDataset:
+    """A randomised-controlled-trial sample with known ground truth.
+
+    Attributes
+    ----------
+    x:
+        Feature matrix ``(n, d)``.
+    t:
+        Binary treatment assignment ``(n,)`` (Notation 1).
+    y_r, y_c:
+        Realised revenue and cost outcomes ``(n,)``.
+    tau_r, tau_c:
+        Ground-truth conditional effects ``τ_r(x_i)``, ``τ_c(x_i)``
+        (available because the data is synthetic; real corpora never
+        expose these).
+    roi:
+        Ground-truth ``τ_r(x_i)/τ_c(x_i) ∈ (0,1)`` (Definition 2 under
+        Assumption 3).
+    name:
+        Generator label (``"criteo"``, ``"meituan"``, ``"alibaba"``...).
+    """
+
+    x: np.ndarray
+    t: np.ndarray
+    y_r: np.ndarray
+    y_c: np.ndarray
+    tau_r: np.ndarray
+    tau_c: np.ndarray
+    roi: np.ndarray
+    name: str = "synthetic"
+    feature_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = self.x.shape[0]
+        for attr in ("t", "y_r", "y_c", "tau_r", "tau_c", "roi"):
+            arr = getattr(self, attr)
+            if arr.shape[0] != n:
+                raise ValueError(
+                    f"{attr} has length {arr.shape[0]} but X has {n} rows"
+                )
+        if not self.feature_names:
+            self.feature_names = [f"f{i}" for i in range(self.x.shape[1])]
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.x.shape[1])
+
+    @property
+    def n_treated(self) -> int:
+        return int(np.sum(self.t == 1))
+
+    @property
+    def n_control(self) -> int:
+        return int(np.sum(self.t == 0))
+
+    def subset(self, idx: np.ndarray) -> "RCTDataset":
+        """Row-sliced copy (``idx`` may be a boolean mask or index array)."""
+        return RCTDataset(
+            x=self.x[idx],
+            t=self.t[idx],
+            y_r=self.y_r[idx],
+            y_c=self.y_c[idx],
+            tau_r=self.tau_r[idx],
+            tau_c=self.tau_c[idx],
+            roi=self.roi[idx],
+            name=self.name,
+            feature_names=list(self.feature_names),
+        )
+
+    def split(
+        self,
+        fractions: tuple[float, ...],
+        random_state: int | np.random.Generator | None = None,
+    ) -> tuple["RCTDataset", ...]:
+        """Random disjoint splits by the given fractions (must sum to ≤ 1)."""
+        if any(f <= 0 for f in fractions):
+            raise ValueError(f"fractions must be positive, got {fractions}")
+        if sum(fractions) > 1.0 + 1e-9:
+            raise ValueError(f"fractions must sum to <= 1, got {fractions}")
+        rng = as_generator(random_state)
+        perm = rng.permutation(self.n)
+        out = []
+        start = 0
+        for f in fractions:
+            size = int(round(f * self.n))
+            out.append(self.subset(perm[start : start + size]))
+            start += size
+        return tuple(out)
+
+    def sample_fraction(
+        self,
+        fraction: float,
+        random_state: int | np.random.Generator | None = None,
+    ) -> "RCTDataset":
+        """Uniform subsample — how the paper builds its *Insufficient*
+        settings (a 0.15 sample of the sufficient dataset, §V-A)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        rng = as_generator(random_state)
+        size = max(2, int(round(fraction * self.n)))
+        idx = rng.choice(self.n, size=size, replace=False)
+        return self.subset(idx)
+
+    def summary(self) -> dict:
+        """Headline statistics (useful in examples and logs)."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "n_features": self.n_features,
+            "treated_fraction": float(np.mean(self.t)),
+            "mean_y_r": float(np.mean(self.y_r)),
+            "mean_y_c": float(np.mean(self.y_c)),
+            "mean_true_roi": float(np.mean(self.roi)),
+        }

@@ -1,0 +1,154 @@
+"""The paper's four experimental settings (§V-A).
+
+Settings are the cross product of data sufficiency and covariate shift
+between the training set and the calibration/test sets:
+
+* **SuNo** — Sufficient data, No covariate shift;
+* **SuCo** — Sufficient data, Covariate shift;
+* **InNo** — Insufficient data (0.15 subsample), No covariate shift;
+* **InCo** — Insufficient data, Covariate shift.
+
+Per the paper: "the insufficient dataset are randomly taken from the
+sufficient dataset with a 0.15 sample rate" and "the covariate shift
+... is achieved by altering the distribution of the features only in
+the calibration and test sets" — the training set always keeps the
+base distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.alibaba import alibaba_lift
+from repro.data.criteo import criteo_uplift_v2
+from repro.data.meituan import meituan_lift
+from repro.data.rct import RCTDataset
+from repro.data.shift import exponential_tilt_shift
+from repro.utils.rng import as_generator
+
+__all__ = ["SETTING_NAMES", "DATASET_NAMES", "SettingData", "load_dataset", "make_setting"]
+
+SETTING_NAMES = ("SuNo", "SuCo", "InNo", "InCo")
+DATASET_NAMES = ("criteo", "meituan", "alibaba")
+
+_GENERATORS = {
+    "criteo": criteo_uplift_v2,
+    "meituan": meituan_lift,
+    "alibaba": alibaba_lift,
+}
+
+INSUFFICIENT_RATE = 0.15
+
+
+@dataclass
+class SettingData:
+    """Train / calibration / test triple for one experimental setting.
+
+    The calibration set plays the role of the paper's "one or two day
+    RCT collected right before deployment": it always shares the test
+    set's distribution (Assumption 6), shifted or not.
+    """
+
+    train: RCTDataset
+    calibration: RCTDataset
+    test: RCTDataset
+    dataset: str
+    setting: str
+
+    @property
+    def has_shift(self) -> bool:
+        return self.setting.endswith("Co")
+
+    @property
+    def is_sufficient(self) -> bool:
+        return self.setting.startswith("Su")
+
+
+def load_dataset(
+    name: str, n: int, random_state: int | np.random.Generator | None = None
+) -> RCTDataset:
+    """Generate one of the three analogs by name."""
+    if name not in _GENERATORS:
+        raise ValueError(f"Unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    return _GENERATORS[name](n, random_state=random_state)
+
+
+def make_setting(
+    dataset: str,
+    setting: str,
+    n_sufficient: int = 12000,
+    calibration_fraction: float = 0.15,
+    test_fraction: float = 0.35,
+    shift_strength: float = 1.2,
+    random_state: int | np.random.Generator | None = None,
+) -> SettingData:
+    """Build the train/calibration/test triple of one Table-I cell.
+
+    Parameters
+    ----------
+    dataset:
+        ``"criteo"``, ``"meituan"`` or ``"alibaba"``.
+    setting:
+        ``"SuNo"``, ``"SuCo"``, ``"InNo"`` or ``"InCo"``.
+    n_sufficient:
+        Base corpus size; the *train* split of an ``In*`` setting is a
+        0.15 subsample of the sufficient train split (paper protocol).
+    calibration_fraction, test_fraction:
+        Split fractions of the base corpus (the rest trains).
+    shift_strength:
+        Exponential-tilt strength applied to calibration+test in
+        ``*Co`` settings.
+    random_state:
+        Seed/generator; each stage derives an independent stream.
+
+    Returns
+    -------
+    SettingData
+    """
+    if setting not in SETTING_NAMES:
+        raise ValueError(f"Unknown setting {setting!r}; choose from {SETTING_NAMES}")
+    if calibration_fraction + test_fraction >= 1.0:
+        raise ValueError("calibration_fraction + test_fraction must be < 1")
+    rng = as_generator(random_state)
+
+    # calibration/test are drawn from 2x pools so the *Co settings can
+    # tilt-subsample (without replacement) down to the same sizes the
+    # *No settings get — the corpus is enlarged accordingly.
+    pool_factor = 1.0 + calibration_fraction + test_fraction
+    # meituan keeps ~40% of generated rows after binarisation; oversample
+    oversample = 2.6 if dataset == "meituan" else 1.0
+    n_corpus = int(np.ceil(n_sufficient * pool_factor))
+    corpus = load_dataset(dataset, int(n_corpus * oversample), random_state=rng)
+    if corpus.n > n_corpus:
+        corpus = corpus.subset(np.arange(n_corpus))
+
+    train_fraction = (1.0 - calibration_fraction - test_fraction) / pool_factor
+    calib_pool_fraction = 2.0 * calibration_fraction / pool_factor
+    test_pool_fraction = 2.0 * test_fraction / pool_factor
+    train, calib_pool, test_pool = corpus.split(
+        (train_fraction, calib_pool_fraction, test_pool_fraction), random_state=rng
+    )
+
+    if setting.startswith("In"):
+        train = train.sample_fraction(INSUFFICIENT_RATE, random_state=rng)
+
+    if setting.endswith("Co"):
+        calibration = exponential_tilt_shift(
+            calib_pool, strength=shift_strength, n_out=calib_pool.n // 2, random_state=rng
+        )
+        test = exponential_tilt_shift(
+            test_pool, strength=shift_strength, n_out=test_pool.n // 2, random_state=rng
+        )
+    else:
+        calibration = calib_pool.sample_fraction(0.5, random_state=rng)
+        test = test_pool.sample_fraction(0.5, random_state=rng)
+
+    return SettingData(
+        train=train,
+        calibration=calibration,
+        test=test,
+        dataset=dataset,
+        setting=setting,
+    )

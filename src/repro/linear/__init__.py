@@ -1,0 +1,10 @@
+"""Linear-model substrate: ridge and logistic regression.
+
+These serve as base learners for the meta-learner uplift baselines
+(S-/T-/X-learner) and as propensity models.
+"""
+
+from repro.linear.logistic import LogisticRegression
+from repro.linear.ridge import RidgeRegression
+
+__all__ = ["LogisticRegression", "RidgeRegression"]

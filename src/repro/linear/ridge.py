@@ -1,0 +1,81 @@
+"""Closed-form ridge regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_2d, check_consistent_length
+
+__all__ = ["RidgeRegression"]
+
+
+class RidgeRegression:
+    """L2-regularised least squares solved in closed form.
+
+    Minimises ``||y - Xw - b||^2 + alpha ||w||^2`` (intercept not
+    penalised).  Supports optional sample weights, which the X-learner
+    uses for its propensity-weighted blending stage.
+
+    Parameters
+    ----------
+    alpha:
+        Regularisation strength (must be >= 0).
+    fit_intercept:
+        Whether to fit an unpenalised intercept (default True).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x, y, sample_weight=None) -> "RidgeRegression":
+        x = check_2d(x)
+        y = check_1d(y)
+        check_consistent_length(x, y, names=("X", "y"))
+        n, d = x.shape
+        if sample_weight is not None:
+            w = check_1d(sample_weight, "sample_weight")
+            check_consistent_length(x, w, names=("X", "sample_weight"))
+            if np.any(w < 0) or np.sum(w) <= 0:
+                raise ValueError("sample_weight must be non-negative with positive sum")
+            sw = np.sqrt(w)
+            xw = x * sw[:, None]
+            yw = y * sw
+        else:
+            w = None
+            xw = x
+            yw = y
+
+        if self.fit_intercept:
+            if w is None:
+                x_mean = x.mean(axis=0)
+                y_mean = y.mean()
+            else:
+                x_mean = np.average(x, axis=0, weights=w)
+                y_mean = np.average(y, weights=w)
+            xc = xw - np.sqrt(w)[:, None] * x_mean if w is not None else x - x_mean
+            yc = yw - np.sqrt(w) * y_mean if w is not None else y - y_mean
+        else:
+            x_mean = np.zeros(d)
+            y_mean = 0.0
+            xc = xw
+            yc = yw
+
+        gram = xc.T @ xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_) if self.fit_intercept else 0.0
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("RidgeRegression is not fitted; call fit() first")
+        x = check_2d(x)
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {x.shape[1]} features but the model was fitted with {self.coef_.shape[0]}"
+            )
+        return x @ self.coef_ + self.intercept_

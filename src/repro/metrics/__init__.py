@@ -1,0 +1,21 @@
+"""Evaluation metrics.
+
+* :func:`aucc` / :func:`cost_curve` — Area Under Cost Curve, the
+  paper's headline metric for ROI ranking quality (§V-A);
+* qini/uplift curves for per-outcome uplift diagnostics;
+* conformal interval coverage/width statistics.
+"""
+
+from repro.metrics.aucc import CostCurve, aucc, cost_curve
+from repro.metrics.coverage import interval_statistics
+from repro.metrics.uplift_curves import qini_coefficient, qini_curve, uplift_at_k
+
+__all__ = [
+    "CostCurve",
+    "aucc",
+    "cost_curve",
+    "interval_statistics",
+    "qini_coefficient",
+    "qini_curve",
+    "uplift_at_k",
+]

@@ -1,0 +1,48 @@
+"""Conformal-interval quality statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.conformal import empirical_coverage
+from repro.utils.validation import check_1d, check_consistent_length
+
+__all__ = ["IntervalStats", "interval_statistics"]
+
+
+@dataclass
+class IntervalStats:
+    """Summary of a batch of prediction intervals.
+
+    Attributes
+    ----------
+    coverage:
+        Fraction of targets inside their interval (Eq. 4 LHS).
+    mean_width, median_width:
+        Interval-width statistics — conformal validity is only useful
+        if the intervals are also reasonably tight.
+    """
+
+    coverage: float
+    mean_width: float
+    median_width: float
+
+
+def interval_statistics(
+    target: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> IntervalStats:
+    """Coverage plus width statistics for intervals ``[lower, upper]``."""
+    target = check_1d(target, "target")
+    lower = check_1d(lower, "lower")
+    upper = check_1d(upper, "upper")
+    check_consistent_length(target, lower, upper, names=("target", "lower", "upper"))
+    if np.any(upper < lower):
+        raise ValueError("Found intervals with upper < lower")
+    width = upper - lower
+    return IntervalStats(
+        coverage=empirical_coverage(target, lower, upper),
+        mean_width=float(np.mean(width)),
+        median_width=float(np.median(width)),
+    )

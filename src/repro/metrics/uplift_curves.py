@@ -1,0 +1,74 @@
+"""Qini and uplift-at-k diagnostics for single-outcome uplift models.
+
+These complement AUCC: AUCC scores the *ROI* ranking, while the qini
+coefficient scores the revenue-uplift (or cost-uplift) ranking of each
+phase-1 model in isolation — useful when debugging why a TPM variant
+underperforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_binary, check_consistent_length
+
+__all__ = ["qini_curve", "qini_coefficient", "uplift_at_k"]
+
+
+def qini_curve(
+    uplift_pred: np.ndarray,
+    t: np.ndarray,
+    y: np.ndarray,
+    n_points: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Qini curve: cumulative incremental responses by ranked prefix.
+
+    Returns ``(fractions, qini_values)`` where ``qini(k) = Y₁(k) −
+    Y₀(k)·N₁(k)/N₀(k)`` for the top-``k`` prefix of the ranking.
+    """
+    uplift_pred = check_1d(uplift_pred, "uplift_pred")
+    t = check_binary(t)
+    y = check_1d(y, "y")
+    check_consistent_length(uplift_pred, t, y, names=("uplift_pred", "t", "y"))
+    n = uplift_pred.shape[0]
+    order = np.argsort(-uplift_pred, kind="stable")
+    ts = t[order]
+    ys = y[order]
+    treated = ts == 1
+    cum_y1 = np.cumsum(ys * treated)
+    cum_y0 = np.cumsum(ys * (~treated))
+    cum_n1 = np.cumsum(treated)
+    cum_n0 = np.cumsum(~treated)
+    ks = np.unique(np.clip(np.round(np.linspace(1, n, n_points)).astype(np.int64), 1, n))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        qini = cum_y1[ks - 1] - cum_y0[ks - 1] * cum_n1[ks - 1] / np.maximum(cum_n0[ks - 1], 1)
+    qini = np.where(cum_n0[ks - 1] == 0, 0.0, qini)
+    return ks / n, qini
+
+
+def qini_coefficient(
+    uplift_pred: np.ndarray, t: np.ndarray, y: np.ndarray, n_points: int = 100
+) -> float:
+    """Area between the qini curve and the random-ranking diagonal."""
+    fractions, qini = qini_curve(uplift_pred, t, y, n_points=n_points)
+    random_line = fractions * qini[-1]
+    return float(np.trapezoid(qini - random_line, fractions))
+
+
+def uplift_at_k(
+    uplift_pred: np.ndarray, t: np.ndarray, y: np.ndarray, k: float = 0.3
+) -> float:
+    """Difference-in-means treatment effect inside the top-``k`` fraction."""
+    if not 0.0 < k <= 1.0:
+        raise ValueError(f"k must be in (0, 1], got {k}")
+    uplift_pred = check_1d(uplift_pred, "uplift_pred")
+    t = check_binary(t)
+    y = check_1d(y, "y")
+    check_consistent_length(uplift_pred, t, y, names=("uplift_pred", "t", "y"))
+    n = uplift_pred.shape[0]
+    top = np.argsort(-uplift_pred, kind="stable")[: max(1, int(round(k * n)))]
+    tt = t[top]
+    yy = y[top]
+    if np.all(tt == 1) or np.all(tt == 0):
+        return 0.0
+    return float(yy[tt == 1].mean() - yy[tt == 0].mean())

@@ -1,0 +1,104 @@
+"""Numerically stable activation functions and their derivatives.
+
+The DRP loss (Eq. 2 of the paper) expands into ``y_r * s - y_c *
+softplus(s)`` terms, so :func:`sigmoid`, :func:`softplus` and
+:func:`log_sigmoid` are written in the branch-free stable forms that
+never overflow for large ``|s|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "sigmoid_grad",
+    "softplus",
+    "log_sigmoid",
+    "relu",
+    "relu_grad",
+    "elu",
+    "elu_grad",
+    "tanh",
+    "tanh_grad",
+    "identity",
+    "softmax",
+]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable logistic function ``1 / (1 + exp(-x))``.
+
+    Uses the two-branch formulation so ``exp`` is only ever evaluated on
+    non-positive arguments.
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`sigmoid` with respect to its input."""
+    s = sigmoid(x)
+    return s * (1.0 - s)
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Stable ``log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|))``."""
+    x = np.asarray(x, dtype=float)
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable ``log(sigmoid(x)) = -softplus(-x)``."""
+    return -softplus(-np.asarray(x, dtype=float))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit ``max(x, 0)``."""
+    return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Sub-gradient of :func:`relu` (0 at the kink)."""
+    return (np.asarray(x, dtype=float) > 0).astype(float)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Exponential linear unit: ``x`` if positive else ``alpha*(e^x-1)``."""
+    x = np.asarray(x, dtype=float)
+    return np.where(x > 0, x, alpha * np.expm1(np.minimum(x, 0.0)))
+
+
+def elu_grad(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Derivative of :func:`elu`."""
+    x = np.asarray(x, dtype=float)
+    return np.where(x > 0, 1.0, alpha * np.exp(np.minimum(x, 0.0)))
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(np.asarray(x, dtype=float))
+
+
+def tanh_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative ``1 - tanh(x)^2``."""
+    t = np.tanh(np.asarray(x, dtype=float))
+    return 1.0 - t * t
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """Pass-through activation (linear output head)."""
+    return np.asarray(x, dtype=float)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=float)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)

@@ -1,0 +1,93 @@
+"""Finite-difference gradient verification.
+
+Used by the test suite to certify every layer's analytic backward pass;
+exported publicly because downstream users extending the substrate with
+new layers will want the same harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.network import Network
+
+__all__ = ["numeric_gradient", "check_network_gradients"]
+
+
+def numeric_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function ``f`` at ``x``."""
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f(x)
+        x[idx] = orig - eps
+        f_minus = f(x)
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def check_network_gradients(
+    network: Network,
+    x: np.ndarray,
+    loss: Callable[[np.ndarray], tuple[float, np.ndarray]],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> float:
+    """Compare analytic parameter gradients against finite differences.
+
+    Parameters
+    ----------
+    network:
+        Network to check (must not contain active dropout for the check
+        to be deterministic).
+    x:
+        Small input batch.
+    loss:
+        ``pred -> (value, grad_wrt_pred)``.
+
+    Returns
+    -------
+    float
+        Maximum absolute deviation over all parameters.
+
+    Raises
+    ------
+    AssertionError
+        If any analytic gradient entry disagrees with the numeric one
+        beyond ``atol + rtol * |numeric|``.
+    """
+    network.zero_grad()
+    pred = network.forward(x, training=True)
+    _, grad = loss(pred)
+    network.backward(grad)
+    analytic = [g.copy() for g in network.gradients()]
+
+    def scalar_loss() -> float:
+        value, _ = loss(network.forward(x, training=True))
+        return value
+
+    max_dev = 0.0
+    for param, ana in zip(network.parameters(), analytic):
+        def f(p, _param=param):
+            return scalar_loss()
+
+        num = numeric_gradient(lambda _p: scalar_loss(), param, eps=eps)
+        dev = np.max(np.abs(num - ana))
+        max_dev = max(max_dev, float(dev))
+        if not np.allclose(num, ana, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"Gradient mismatch: max|numeric - analytic| = {dev:.3e} "
+                f"for parameter of shape {param.shape}"
+            )
+    return max_dev

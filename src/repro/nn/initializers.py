@@ -1,0 +1,45 @@
+"""Weight initialisation schemes.
+
+Shallow uplift networks are sensitive to initial scale (the paper lists
+"initial weights" among the hard-to-tune knobs under insufficient
+data), so initialisers are explicit and seedable rather than implicit
+numpy defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["glorot_uniform", "he_normal", "zeros_init"]
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation ``U(-a, a)``, ``a = sqrt(6/(fan_in+fan_out))``.
+
+    Appropriate for sigmoid/tanh hidden layers — the configuration DRP
+    uses (a single sigmoid-adjacent hidden layer of 10–100 units).
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in/fan_out must be positive, got ({fan_in}, {fan_out})")
+    gen = as_generator(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(
+    fan_in: int, fan_out: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """He normal initialisation ``N(0, 2/fan_in)`` for ReLU-family layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in/fan_out must be positive, got ({fan_in}, {fan_out})")
+    gen = as_generator(rng)
+    return gen.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+    """All-zero initialisation (bias vectors)."""
+    return np.zeros((fan_in, fan_out))

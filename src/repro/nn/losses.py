@@ -1,0 +1,68 @@
+"""Generic supervised losses.
+
+Each loss returns ``(value, grad)`` where ``grad`` has the same shape
+as the prediction array, so networks can backpropagate any loss without
+knowing its form.  The paper-specific causal losses (DRP's Eq. 2, the
+Direct Rank ratio loss, DragonNet's composite) live next to their
+models in :mod:`repro.core` / :mod:`repro.causal` because they consume
+``(t, y_r, y_c)`` tuples rather than a plain target vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import log_sigmoid, sigmoid
+
+__all__ = ["Loss", "MeanSquaredError", "BinaryCrossEntropy"]
+
+
+class Loss:
+    """Base loss interface: ``__call__(pred, target) -> (value, grad)``."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error ``mean((pred - target)^2)``, optionally weighted."""
+
+    def __call__(
+        self,
+        pred: np.ndarray,
+        target: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        pred = np.asarray(pred, dtype=float)
+        target = np.asarray(target, dtype=float).reshape(pred.shape)
+        diff = pred - target
+        if sample_weight is None:
+            value = float(np.mean(diff**2))
+            grad = 2.0 * diff / diff.size
+        else:
+            w = np.asarray(sample_weight, dtype=float).reshape(-1, *([1] * (pred.ndim - 1)))
+            total = float(np.sum(w)) * (diff.size / diff.shape[0])
+            if total <= 0:
+                raise ValueError("sample_weight must have positive sum")
+            value = float(np.sum(w * diff**2) / total)
+            grad = 2.0 * w * diff / total
+        return value, grad
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy on *logits* (numerically stable).
+
+    ``loss = mean(softplus(z) - target * z)`` where ``z`` is the logit;
+    gradient is ``(sigmoid(z) - target) / n``.
+    """
+
+    def __call__(self, logits: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        logits = np.asarray(logits, dtype=float)
+        target = np.asarray(target, dtype=float).reshape(logits.shape)
+        if np.any((target < 0) | (target > 1)):
+            raise ValueError("BinaryCrossEntropy targets must lie in [0, 1]")
+        # softplus(z) - t*z == -(t*log_sigmoid(z) + (1-t)*log_sigmoid(-z))
+        per_sample = -(target * log_sigmoid(logits) + (1.0 - target) * log_sigmoid(-logits))
+        value = float(np.mean(per_sample))
+        grad = (sigmoid(logits) - target) / logits.size
+        return value, grad

@@ -1,0 +1,96 @@
+"""Least-squares gradient boosting on CART base learners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.tree import DecisionTreeRegressor
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import check_1d, check_2d, check_consistent_length
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor:
+    """Gradient boosting with squared-error loss.
+
+    Each stage fits a shallow CART tree to the current residuals and is
+    added with a shrinkage factor.  Optional row subsampling gives
+    stochastic gradient boosting.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting stages.
+    learning_rate:
+        Shrinkage applied to each stage.
+    max_depth, min_samples_leaf:
+        Base-tree capacity controls.
+    subsample:
+        Row fraction drawn (without replacement) per stage; 1.0 disables.
+    random_state:
+        Seed/generator for subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError(f"subsample must be in (0, 1], got {subsample}")
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.subsample = float(subsample)
+        self.random_state = random_state
+        self.init_: float = 0.0
+        self.stages_: list[DecisionTreeRegressor] = []
+        self.train_score_: list[float] = []
+
+    def fit(self, x, y) -> "GradientBoostingRegressor":
+        x = check_2d(x)
+        y = check_1d(y)
+        check_consistent_length(x, y, names=("X", "y"))
+        n = x.shape[0]
+        sampler = as_generator(self.random_state)
+        stage_rngs = spawn_generators(sampler, self.n_estimators)
+        self.init_ = float(y.mean())
+        current = np.full(n, self.init_)
+        self.stages_ = []
+        self.train_score_ = []
+        for rng in stage_rngs:
+            residual = y - current
+            if self.subsample < 1.0:
+                m = max(2, int(round(self.subsample * n)))
+                idx = rng.choice(n, size=m, replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=rng,
+            )
+            tree.fit(x[idx], residual[idx])
+            current += self.learning_rate * tree.predict(x)
+            self.stages_.append(tree)
+            self.train_score_.append(float(np.mean((y - current) ** 2)))
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if not self.stages_:
+            raise RuntimeError("GradientBoostingRegressor is not fitted; call fit() first")
+        x = check_2d(x)
+        pred = np.full(x.shape[0], self.init_)
+        for tree in self.stages_:
+            pred += self.learning_rate * tree.predict(x)
+        return pred

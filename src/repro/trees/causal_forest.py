@@ -1,0 +1,114 @@
+"""Causal forest: bagged honest causal trees with jackknife variance.
+
+This is the estimator behind the paper's TPM-CF baseline and one of the
+uncertainty-quantification comparators discussed in §II-B (causal
+forests use the infinitesimal jackknife for CATE variance; here we
+expose the simpler across-tree variance, which plays the same role for
+the baseline comparisons).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.causal_tree import CausalTree
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import check_1d, check_2d, check_binary, check_consistent_length
+
+__all__ = ["CausalForest"]
+
+
+class CausalForest:
+    """Subsampled ensemble of honest causal trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    subsample:
+        Row fraction drawn (without replacement) per tree.
+    max_depth, min_treated_leaf, min_control_leaf, max_features, honest:
+        Per-tree controls (see :class:`~repro.trees.causal_tree.CausalTree`).
+    random_state:
+        Seed/generator for subsampling and per-tree randomness.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        subsample: float = 0.7,
+        max_depth: int | None = 5,
+        min_treated_leaf: int = 10,
+        min_control_leaf: int = 10,
+        max_features: int | str | None = "sqrt",
+        honest: bool = True,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError(f"subsample must be in (0, 1], got {subsample}")
+        self.n_estimators = int(n_estimators)
+        self.subsample = float(subsample)
+        self.max_depth = max_depth
+        self.min_treated_leaf = int(min_treated_leaf)
+        self.min_control_leaf = int(min_control_leaf)
+        self.max_features = max_features
+        self.honest = bool(honest)
+        self.random_state = random_state
+        self.trees_: list[CausalTree] = []
+
+    def fit(self, x, y, t) -> "CausalForest":
+        x = check_2d(x)
+        y = check_1d(y)
+        t = check_binary(t)
+        check_consistent_length(x, y, t, names=("X", "y", "treatment"))
+        n = x.shape[0]
+        sampler = as_generator(self.random_state)
+        tree_rngs = spawn_generators(sampler, self.n_estimators)
+        m = max(4, int(round(self.subsample * n)))
+        self.trees_ = []
+        for rng in tree_rngs:
+            idx = rng.choice(n, size=min(m, n), replace=False)
+            # guard: a subsample could lose one arm entirely on tiny data
+            attempts = 0
+            while (
+                np.sum(t[idx] == 1) < self.min_treated_leaf
+                or np.sum(t[idx] == 0) < self.min_control_leaf
+            ):
+                idx = rng.choice(n, size=min(m, n), replace=False)
+                attempts += 1
+                if attempts > 20:
+                    idx = np.arange(n)
+                    break
+            tree = CausalTree(
+                max_depth=self.max_depth,
+                min_treated_leaf=self.min_treated_leaf,
+                min_control_leaf=self.min_control_leaf,
+                max_features=self.max_features,
+                honest=self.honest,
+                random_state=rng,
+            )
+            tree.fit(x[idx], y[idx], t[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        """Ensemble-mean CATE ``τ̂(x)``."""
+        if not self.trees_:
+            raise RuntimeError("CausalForest is not fitted; call fit() first")
+        x = check_2d(x)
+        preds = np.zeros(x.shape[0])
+        for tree in self.trees_:
+            preds += tree.predict(x)
+        return preds / len(self.trees_)
+
+    def predict_var(self, x) -> np.ndarray:
+        """Across-tree variance of the CATE estimate."""
+        if not self.trees_:
+            raise RuntimeError("CausalForest is not fitted; call fit() first")
+        x = check_2d(x)
+        stacked = np.stack([tree.predict(x) for tree in self.trees_], axis=0)
+        if stacked.shape[0] < 2:
+            return np.zeros(x.shape[0])
+        return stacked.var(axis=0, ddof=1)

@@ -1,0 +1,267 @@
+"""Honest causal tree (Athey & Imbens style).
+
+Splits maximise *treatment-effect heterogeneity*: the criterion is the
+weighted sum of squared child effects ``n_L τ̂_L² + n_R τ̂_R²``, the
+empirical analogue of maximising Var[τ̂] across leaves.  With
+``honest=True`` the sample is split in half: one half chooses the tree
+structure, the other estimates the leaf effects — the de-biasing device
+that makes causal forests' CATE estimates consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary,
+    check_consistent_length,
+)
+
+__all__ = ["CausalTree", "best_effect_split"]
+
+
+def best_effect_split(
+    x_col: np.ndarray,
+    y: np.ndarray,
+    t: np.ndarray,
+    min_treated_leaf: int,
+    min_control_leaf: int,
+) -> tuple[float, float]:
+    """Best threshold on one feature by effect-heterogeneity gain.
+
+    Scans sorted split points with prefix sums of treated/control
+    outcome totals.  A split is valid only if both children keep at
+    least ``min_treated_leaf`` treated and ``min_control_leaf`` control
+    samples, so every leaf effect τ̂ = ȳ₁ − ȳ₀ is well defined.
+
+    Returns ``(threshold, score)``; ``score`` is ``-inf`` when no valid
+    split exists.
+    """
+    n = x_col.shape[0]
+    order = np.argsort(x_col, kind="stable")
+    xs = x_col[order]
+    ys = y[order]
+    ts = t[order]
+
+    treated = ts == 1
+    cum_n1 = np.cumsum(treated)
+    cum_n0 = np.cumsum(~treated)
+    cum_y1 = np.cumsum(ys * treated)
+    cum_y0 = np.cumsum(ys * (~treated))
+
+    n1_left = cum_n1[:-1]
+    n0_left = cum_n0[:-1]
+    y1_left = cum_y1[:-1]
+    y0_left = cum_y0[:-1]
+    n1_right = cum_n1[-1] - n1_left
+    n0_right = cum_n0[-1] - n0_left
+    y1_right = cum_y1[-1] - y1_left
+    y0_right = cum_y0[-1] - y0_left
+
+    valid = (
+        (n1_left >= min_treated_leaf)
+        & (n0_left >= min_control_leaf)
+        & (n1_right >= min_treated_leaf)
+        & (n0_right >= min_control_leaf)
+        & (xs[1:] > xs[:-1])
+    )
+    if not np.any(valid):
+        return 0.0, -np.inf
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tau_left = y1_left / np.maximum(n1_left, 1) - y0_left / np.maximum(n0_left, 1)
+        tau_right = y1_right / np.maximum(n1_right, 1) - y0_right / np.maximum(n0_right, 1)
+    n_left = n1_left + n0_left
+    n_right = n1_right + n0_right
+    score = n_left * tau_left**2 + n_right * tau_right**2
+    score = np.where(valid, score, -np.inf)
+    best = int(np.argmax(score))
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(threshold), float(score[best])
+
+
+class CausalTree:
+    """A single honest causal tree estimating ``τ(x) = E[Y(1) − Y(0) | x]``.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth of the structure tree.
+    min_treated_leaf, min_control_leaf:
+        Minimum per-arm counts every leaf must keep (structure stage;
+        honest leaves falling below fall back to the parent estimate).
+    max_features:
+        Features scanned per split (``None`` = all, int, or ``"sqrt"``).
+    honest:
+        Use half the data for structure, half for leaf estimates.
+    random_state:
+        Seed/generator for honesty split and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = 6,
+        min_treated_leaf: int = 10,
+        min_control_leaf: int = 10,
+        max_features: int | str | None = None,
+        honest: bool = True,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if min_treated_leaf < 1 or min_control_leaf < 1:
+            raise ValueError("min_treated_leaf / min_control_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_treated_leaf = int(min_treated_leaf)
+        self.min_control_leaf = int(min_control_leaf)
+        self.max_features = max_features
+        self.honest = bool(honest)
+        self.random_state = random_state
+        self.n_features_: int | None = None
+        self.feature_: list[int] = []
+        self.threshold_: list[float] = []
+        self.left_: list[int] = []
+        self.right_: list[int] = []
+        self.effect_: list[float] = []
+
+    def _n_candidate_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        k = int(self.max_features)
+        if not 1 <= k <= d:
+            raise ValueError(f"max_features must be in [1, {d}], got {k}")
+        return k
+
+    def _new_node(self, effect: float) -> int:
+        self.feature_.append(-1)
+        self.threshold_.append(0.0)
+        self.left_.append(-1)
+        self.right_.append(-1)
+        self.effect_.append(effect)
+        return len(self.effect_) - 1
+
+    @staticmethod
+    def _naive_effect(y: np.ndarray, t: np.ndarray) -> float:
+        n1 = int(np.sum(t == 1))
+        n0 = int(np.sum(t == 0))
+        if n1 == 0 or n0 == 0:
+            return 0.0
+        return float(y[t == 1].mean() - y[t == 0].mean())
+
+    def fit(self, x, y, t) -> "CausalTree":
+        x = check_2d(x)
+        y = check_1d(y)
+        t = check_binary(t)
+        check_consistent_length(x, y, t, names=("X", "y", "treatment"))
+        if np.sum(t == 1) < self.min_treated_leaf or np.sum(t == 0) < self.min_control_leaf:
+            raise ValueError(
+                "Not enough treated/control samples to satisfy the leaf constraints"
+            )
+        self.n_features_ = x.shape[1]
+        rng = as_generator(self.random_state)
+
+        n = x.shape[0]
+        if self.honest and n >= 4 * max(self.min_treated_leaf, self.min_control_leaf):
+            perm = rng.permutation(n)
+            half = n // 2
+            build_idx = perm[:half]
+            est_idx = perm[half:]
+        else:
+            build_idx = np.arange(n)
+            est_idx = np.arange(n)
+
+        self.feature_, self.threshold_ = [], []
+        self.left_, self.right_, self.effect_ = [], [], []
+        xb, yb, tb = x[build_idx], y[build_idx], t[build_idx]
+        root = self._new_node(self._naive_effect(yb, tb))
+        stack = [(root, np.arange(xb.shape[0]), 0)]
+        node_regions: dict[int, tuple[int, float, bool, int]] = {}
+        while stack:
+            node, idx, depth = stack.pop()
+            self.effect_[node] = self._naive_effect(yb[idx], tb[idx])
+            if self.max_depth is not None and depth >= self.max_depth:
+                continue
+            d = xb.shape[1]
+            k = self._n_candidate_features(d)
+            candidates = rng.choice(d, size=k, replace=False) if k < d else np.arange(d)
+            best_feat, best_thr, best_score = -1, 0.0, -np.inf
+            for feat in candidates:
+                thr, score = best_effect_split(
+                    xb[idx, feat],
+                    yb[idx],
+                    tb[idx],
+                    self.min_treated_leaf,
+                    self.min_control_leaf,
+                )
+                if score > best_score:
+                    best_feat, best_thr, best_score = int(feat), thr, score
+            if best_feat < 0:
+                continue
+            mask = xb[idx, best_feat] <= best_thr
+            left = self._new_node(0.0)
+            right = self._new_node(0.0)
+            self.feature_[node] = best_feat
+            self.threshold_[node] = best_thr
+            self.left_[node] = left
+            self.right_[node] = right
+            stack.append((left, idx[mask], depth + 1))
+            stack.append((right, idx[~mask], depth + 1))
+        self._finalize()
+
+        if self.honest:
+            self._honest_estimates(x[est_idx], y[est_idx], t[est_idx])
+            self._finalize()
+        return self
+
+    def _finalize(self) -> None:
+        self._feature = np.asarray(self.feature_, dtype=np.int64)
+        self._threshold = np.asarray(self.threshold_, dtype=float)
+        self._left = np.asarray(self.left_, dtype=np.int64)
+        self._right = np.asarray(self.right_, dtype=np.int64)
+        self._effect = np.asarray(self.effect_, dtype=float)
+
+    def _honest_estimates(self, x: np.ndarray, y: np.ndarray, t: np.ndarray) -> None:
+        """Re-estimate leaf effects on the held-out estimation half."""
+        leaves = self.apply(x)
+        for leaf in np.unique(leaves):
+            members = leaves == leaf
+            y_leaf = y[members]
+            t_leaf = t[members]
+            n1 = int(np.sum(t_leaf == 1))
+            n0 = int(np.sum(t_leaf == 0))
+            if n1 >= 1 and n0 >= 1:
+                # keep the structure-stage estimate when the estimation
+                # half is too thin to overwrite it reliably
+                self.effect_[int(leaf)] = float(
+                    y_leaf[t_leaf == 1].mean() - y_leaf[t_leaf == 0].mean()
+                )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.effect_)
+
+    def apply(self, x) -> np.ndarray:
+        if self.n_features_ is None:
+            raise RuntimeError("CausalTree is not fitted; call fit() first")
+        x = check_2d(x)
+        if x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {x.shape[1]} features but the tree was fitted with {self.n_features_}"
+            )
+        nodes = np.zeros(x.shape[0], dtype=np.int64)
+        active = self._feature[nodes] >= 0
+        while np.any(active):
+            current = nodes[active]
+            feat = self._feature[current]
+            go_left = x[active, feat] <= self._threshold[current]
+            nodes[active] = np.where(go_left, self._left[current], self._right[current])
+            active = self._feature[nodes] >= 0
+        return nodes
+
+    def predict(self, x) -> np.ndarray:
+        """Estimated CATE ``τ̂(x)`` for each row."""
+        leaves = self.apply(x)  # raises if unfitted, before touching _effect
+        return self._effect[leaves]

@@ -1,0 +1,211 @@
+"""CART regression tree with variance-reduction splitting.
+
+The tree is stored flat (parallel arrays) so prediction is an iterative
+array walk rather than Python recursion per sample.  Split search scans
+each candidate feature in sorted order with prefix sums, giving exact
+SSE-optimal axis-aligned splits in ``O(n log n)`` per feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_1d, check_2d, check_consistent_length
+
+__all__ = ["DecisionTreeRegressor", "best_sse_split"]
+
+_NO_SPLIT = (-1, 0.0, -np.inf)
+
+
+def best_sse_split(
+    x_col: np.ndarray,
+    y: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[float, float]:
+    """Best threshold on one feature by sum-of-squared-error reduction.
+
+    Returns ``(threshold, score)`` where ``score`` is the SSE decrease
+    (``-inf`` when no valid split exists).  Ties in feature values are
+    handled by only allowing splits between distinct values.
+    """
+    n = x_col.shape[0]
+    if n < 2 * min_samples_leaf:
+        return 0.0, -np.inf
+    order = np.argsort(x_col, kind="stable")
+    xs = x_col[order]
+    ys = y[order]
+    csum = np.cumsum(ys)
+    csum2 = np.cumsum(ys * ys)
+    total_sum = csum[-1]
+    total_sq = csum2[-1]
+    # candidate split after position i (1-based left count = i+1)
+    left_counts = np.arange(1, n)
+    left_sum = csum[:-1]
+    left_sq = csum2[:-1]
+    right_counts = n - left_counts
+    right_sum = total_sum - left_sum
+    right_sq = total_sq - left_sq
+    sse_left = left_sq - left_sum**2 / left_counts
+    sse_right = right_sq - right_sum**2 / right_counts
+    parent_sse = total_sq - total_sum**2 / n
+    gain = parent_sse - (sse_left + sse_right)
+    valid = (
+        (left_counts >= min_samples_leaf)
+        & (right_counts >= min_samples_leaf)
+        & (xs[1:] > xs[:-1])  # cannot split between equal values
+    )
+    if not np.any(valid):
+        return 0.0, -np.inf
+    gain = np.where(valid, gain, -np.inf)
+    best = int(np.argmax(gain))
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(threshold), float(gain[best])
+
+
+class DecisionTreeRegressor:
+    """CART regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).  ``None`` grows until
+        leaves are pure or hit ``min_samples_leaf``.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child.
+    max_features:
+        Number of features scanned per split: ``None`` (all), an int,
+        or ``"sqrt"``.  Random subsetting is what decorrelates forest
+        members.
+    random_state:
+        Seed/generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        # flat tree arrays (filled by fit)
+        self.feature_: list[int] = []
+        self.threshold_: list[float] = []
+        self.left_: list[int] = []
+        self.right_: list[int] = []
+        self.value_: list[float] = []
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    def _n_candidate_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        k = int(self.max_features)
+        if not 1 <= k <= d:
+            raise ValueError(f"max_features must be in [1, {d}], got {k}")
+        return k
+
+    def _new_node(self, value: float) -> int:
+        self.feature_.append(-1)
+        self.threshold_.append(0.0)
+        self.left_.append(-1)
+        self.right_.append(-1)
+        self.value_.append(value)
+        return len(self.value_) - 1
+
+    def fit(self, x, y) -> "DecisionTreeRegressor":
+        x = check_2d(x)
+        y = check_1d(y)
+        check_consistent_length(x, y, names=("X", "y"))
+        self.n_features_ = x.shape[1]
+        self.feature_, self.threshold_ = [], []
+        self.left_, self.right_, self.value_ = [], [], []
+        rng = as_generator(self.random_state)
+        root = self._new_node(float(y.mean()))
+        # iterative depth-first construction: (node_id, indices, depth)
+        stack = [(root, np.arange(x.shape[0]), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            self.value_[node] = float(y[idx].mean())
+            if self._should_stop(idx, depth, y):
+                continue
+            d = x.shape[1]
+            k = self._n_candidate_features(d)
+            candidates = rng.choice(d, size=k, replace=False) if k < d else np.arange(d)
+            best_feat, best_thr, best_gain = _NO_SPLIT
+            for feat in candidates:
+                thr, gain = best_sse_split(x[idx, feat], y[idx], self.min_samples_leaf)
+                if gain > best_gain:
+                    best_feat, best_thr, best_gain = int(feat), thr, gain
+            if best_feat < 0 or best_gain <= 1e-12:
+                continue
+            mask = x[idx, best_feat] <= best_thr
+            left_idx = idx[mask]
+            right_idx = idx[~mask]
+            left = self._new_node(float(y[left_idx].mean()))
+            right = self._new_node(float(y[right_idx].mean()))
+            self.feature_[node] = best_feat
+            self.threshold_[node] = best_thr
+            self.left_[node] = left
+            self.right_[node] = right
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+        self._finalize()
+        return self
+
+    def _should_stop(self, idx: np.ndarray, depth: int, y: np.ndarray) -> bool:
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        if idx.shape[0] < self.min_samples_split:
+            return True
+        node_y = y[idx]
+        return bool(np.ptp(node_y) < 1e-15)
+
+    def _finalize(self) -> None:
+        self._feature = np.asarray(self.feature_, dtype=np.int64)
+        self._threshold = np.asarray(self.threshold_, dtype=float)
+        self._left = np.asarray(self.left_, dtype=np.int64)
+        self._right = np.asarray(self.right_, dtype=np.int64)
+        self._value = np.asarray(self.value_, dtype=float)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.value_)
+
+    def apply(self, x) -> np.ndarray:
+        """Leaf index reached by each row of ``x``."""
+        if self.n_features_ is None:
+            raise RuntimeError("Tree is not fitted; call fit() first")
+        x = check_2d(x)
+        if x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {x.shape[1]} features but the tree was fitted with {self.n_features_}"
+            )
+        nodes = np.zeros(x.shape[0], dtype=np.int64)
+        active = self._feature[nodes] >= 0
+        while np.any(active):
+            current = nodes[active]
+            feat = self._feature[current]
+            go_left = x[active, feat] <= self._threshold[current]
+            nodes[active] = np.where(go_left, self._left[current], self._right[current])
+            active = self._feature[nodes] >= 0
+        return nodes
+
+    def predict(self, x) -> np.ndarray:
+        return self._value[self.apply(x)]

@@ -1,0 +1,29 @@
+"""Shared utilities: input validation, RNG handling, numerics.
+
+These helpers are used across every subsystem so that array contracts
+(shapes, dtypes, finiteness) are enforced uniformly and randomness is
+always threaded through :class:`numpy.random.Generator` objects.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary,
+    check_consistent_length,
+    check_in_open_interval,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_1d",
+    "check_2d",
+    "check_binary",
+    "check_consistent_length",
+    "check_in_open_interval",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,54 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``random_state``
+argument that may be ``None``, an integer seed, or an existing
+:class:`numpy.random.Generator`.  :func:`as_generator` normalises all
+three into a ``Generator`` so downstream code never touches the legacy
+``numpy.random.*`` global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(random_state: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh OS-seeded generator), an ``int`` seed, or an
+        existing generator (returned unchanged so callers can share
+        a stream).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy.random.Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_generators(random_state: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``random_state``.
+
+    Used by ensemble models (forests, MC-dropout replicates) so each
+    member gets an independent stream while the whole ensemble stays
+    reproducible from a single seed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = as_generator(random_state)
+    seeds = parent.integers(0, np.iinfo(np.int64).max, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

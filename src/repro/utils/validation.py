@@ -1,0 +1,88 @@
+"""Array-contract validation helpers.
+
+All public model entry points validate their inputs through these
+functions so error messages are consistent and failures happen at the
+API boundary rather than deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_1d",
+    "check_2d",
+    "check_binary",
+    "check_consistent_length",
+    "check_in_open_interval",
+    "check_positive",
+    "check_probability",
+]
+
+
+def check_2d(x, name: str = "X") -> np.ndarray:
+    """Coerce ``x`` to a 2-D float array and verify it is finite."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one row")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_1d(y, name: str = "y") -> np.ndarray:
+    """Coerce ``y`` to a 1-D float array and verify it is finite."""
+    arr = np.asarray(y, dtype=float).ravel()
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one element")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_binary(t, name: str = "treatment") -> np.ndarray:
+    """Coerce ``t`` to a 1-D int array containing only {0, 1}."""
+    arr = np.asarray(t).ravel()
+    uniq = np.unique(arr)
+    if not np.all(np.isin(uniq, (0, 1))):
+        raise ValueError(f"{name} must be binary (0/1), found values {uniq[:10]}")
+    return arr.astype(np.int64)
+
+
+def check_consistent_length(*arrays, names: tuple[str, ...] | None = None) -> None:
+    """Raise if the first dimension differs across ``arrays``."""
+    lengths = [np.asarray(a).shape[0] for a in arrays]
+    if len(set(lengths)) > 1:
+        labels = names if names is not None else tuple(f"array{i}" for i in range(len(arrays)))
+        detail = ", ".join(f"{n}={ln}" for n, ln in zip(labels, lengths))
+        raise ValueError(f"Inconsistent first dimensions: {detail}")
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Verify a scalar lies in the closed interval [0, 1]."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_in_open_interval(x: float, low: float, high: float, name: str = "value") -> float:
+    """Verify a scalar lies strictly inside ``(low, high)``."""
+    x = float(x)
+    if not low < x < high:
+        raise ValueError(f"{name} must be in the open interval ({low}, {high}), got {x}")
+    return x
+
+
+def check_positive(x: float, name: str = "value", strict: bool = True) -> float:
+    """Verify a scalar is positive (strictly by default)."""
+    x = float(x)
+    if strict and x <= 0:
+        raise ValueError(f"{name} must be > 0, got {x}")
+    if not strict and x < 0:
+        raise ValueError(f"{name} must be >= 0, got {x}")
+    return x

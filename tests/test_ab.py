@@ -1,0 +1,124 @@
+"""Tests for the A/B-test platform simulator and harness."""
+
+import numpy as np
+import pytest
+
+from repro.ab.experiment import RANDOM_ARM, ABTest
+from repro.ab.platform import Platform
+
+
+@pytest.fixture
+def platform():
+    return Platform(dataset="criteo", random_state=0)
+
+
+class TestPlatform:
+    def test_daily_cohort_shape(self, platform):
+        cohort = platform.daily_cohort(500, day=1)
+        assert cohort.n == 500
+        assert cohort.n_features == 12
+
+    def test_day_effect_modulates_effects(self):
+        p = Platform(dataset="criteo", day_effect=0.3, random_state=0)
+        day2 = p.daily_cohort(4000, day=2)  # sin(4pi/7) > 0 -> boosted
+        day5 = p.daily_cohort(4000, day=5)  # sin(10pi/7) < 0 -> damped
+        assert day2.tau_r.mean() > day5.tau_r.mean()
+
+    def test_shifted_platform_tilts_cohorts(self):
+        from repro.data.shift import shift_direction
+
+        base = Platform(dataset="criteo", shifted=False, random_state=0)
+        shifted = Platform(dataset="criteo", shifted=True, random_state=0)
+        c_base = base.daily_cohort(4000, day=1)
+        c_shift = shifted.daily_cohort(4000, day=1)
+        d = shift_direction(c_base)
+        assert float((c_shift.x @ d).mean()) > float((c_base.x @ d).mean()) + 0.2
+
+    def test_realize_arm_budget(self, platform):
+        cohort = platform.daily_cohort(400, day=1)
+        order = np.arange(400)
+        outcome = platform.realize_arm(cohort, order, budget=10.0)
+        assert outcome["spend"] <= 10.0 + 1e-9
+        assert outcome["n_treated"] >= 1
+        assert outcome["revenue"] >= outcome["baseline_revenue"]
+
+    def test_realize_arm_bad_order(self, platform):
+        cohort = platform.daily_cohort(50, day=1)
+        with pytest.raises(ValueError, match="permutation"):
+            platform.realize_arm(cohort, np.zeros(50, dtype=int), budget=1.0)
+
+    def test_realize_arm_negative_budget(self, platform):
+        cohort = platform.daily_cohort(50, day=1)
+        with pytest.raises(ValueError, match="budget"):
+            platform.realize_arm(cohort, np.arange(50), budget=-1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="day_effect"):
+            Platform(day_effect=1.5)
+        with pytest.raises(ValueError, match="base_revenue_rate"):
+            Platform(base_revenue_rate=0.0)
+
+
+class TestABTest:
+    def _oracle_policy(self, platform):
+        """Cheating policy: score by the true ROI (upper bound)."""
+        truth = {}
+
+        def policy(x):
+            # the harness passes cohort subsets; recompute the truth from
+            # the structural model by regenerating effects is impossible
+            # here, so this test wires the oracle through a closure set
+            # per cohort by the test body instead.
+            raise RuntimeError("set per-cohort")
+
+        return policy
+
+    def test_runs_and_reports(self, platform):
+        policies = {"constant": lambda x: np.ones(x.shape[0])}
+        test = ABTest(platform, policies, budget_fraction=0.3, random_state=0)
+        result = test.run(n_days=3, cohort_size=600)
+        assert len(result.days) == 3
+        assert set(result.days[0].revenue) == {"constant", RANDOM_ARM}
+        uplift = result.uplift_vs_random
+        assert list(uplift) == ["constant"]
+        assert len(uplift["constant"]) == 3
+
+    def test_good_policy_beats_random(self):
+        """A policy ranking by a noisy view of the true ROI must win."""
+        platform = Platform(dataset="criteo", random_state=1)
+        # build a 'semi-oracle' policy: the first features drive the true
+        # ROI in the analogs, so their projection correlates with it
+        from repro.data import criteo_uplift_v2
+
+        probe = criteo_uplift_v2(4000, random_state=5)
+        weights = np.linalg.lstsq(probe.x, probe.roi, rcond=None)[0]
+
+        policies = {"semi_oracle": lambda x: x @ weights}
+        test = ABTest(platform, policies, budget_fraction=0.3, random_state=0)
+        result = test.run(n_days=5, cohort_size=3000)
+        mean_uplift = result.mean_uplift()["semi_oracle"]
+        assert mean_uplift > 0.0
+
+    def test_reserved_arm_name(self, platform):
+        with pytest.raises(ValueError, match="reserved"):
+            ABTest(platform, {RANDOM_ARM: lambda x: np.ones(len(x))})
+
+    def test_empty_policies(self, platform):
+        with pytest.raises(ValueError, match="At least one"):
+            ABTest(platform, {})
+
+    def test_cohort_too_small(self, platform):
+        policies = {"a": lambda x: np.ones(x.shape[0])}
+        test = ABTest(platform, policies)
+        with pytest.raises(ValueError, match="too small"):
+            test.run(n_days=1, cohort_size=15)
+
+    def test_policy_returning_wrong_length_rejected(self, platform):
+        policies = {"broken": lambda x: np.ones(3)}
+        test = ABTest(platform, policies, random_state=0)
+        with pytest.raises(ValueError, match="scores"):
+            test.run(n_days=1, cohort_size=600)
+
+    def test_invalid_budget_fraction(self, platform):
+        with pytest.raises(ValueError, match="budget_fraction"):
+            ABTest(platform, {"a": lambda x: np.ones(len(x))}, budget_fraction=0.0)

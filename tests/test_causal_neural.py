@@ -1,0 +1,101 @@
+"""Tests for the neural uplift models (TARNet, DragonNet, OffsetNet, SNet)."""
+
+import numpy as np
+import pytest
+
+from repro.causal.neural import DragonNet, OffsetNet, SNet, TARNet
+
+
+def strong_effect_rct(n=2500, seed=0):
+    """tau(x) = 1 + x0 > 0; mu0 = 0.5*x1."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-0.8, 0.8, size=(n, 4))
+    t = rng.integers(0, 2, size=n)
+    tau = 1.0 + x[:, 0]
+    y = 0.5 * x[:, 1] + tau * t + 0.25 * rng.normal(size=n)
+    return x, y, t, tau
+
+
+FAST = dict(epochs=40, hidden=16, learning_rate=3e-3, random_state=0)
+
+
+@pytest.mark.parametrize("model_cls", [TARNet, DragonNet, OffsetNet, SNet])
+class TestCommonBehaviour:
+    def test_learns_average_effect(self, model_cls):
+        x, y, t, tau = strong_effect_rct()
+        model = model_cls(**FAST).fit(x, y, t)
+        pred = model.predict_uplift(x)
+        assert pred.mean() == pytest.approx(tau.mean(), abs=0.25)
+
+    def test_ranks_heterogeneous_effect(self, model_cls):
+        x, y, t, tau = strong_effect_rct()
+        model = model_cls(**FAST).fit(x, y, t)
+        pred = model.predict_uplift(x)
+        assert np.corrcoef(pred, tau)[0, 1] > 0.5
+
+    def test_loss_history_decreases(self, model_cls):
+        x, y, t, _ = strong_effect_rct(n=1000)
+        model = model_cls(**FAST).fit(x, y, t)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_predict_before_fit(self, model_cls):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model_cls().predict_uplift(np.ones((1, 4)))
+
+    def test_feature_mismatch(self, model_cls):
+        x, y, t, _ = strong_effect_rct(n=600)
+        model = model_cls(**FAST).fit(x, y, t)
+        with pytest.raises(ValueError, match="features"):
+            model.predict_uplift(np.ones((2, 7)))
+
+    def test_outcomes_consistent_with_uplift(self, model_cls):
+        x, y, t, _ = strong_effect_rct(n=600)
+        model = model_cls(**FAST).fit(x, y, t)
+        mu0, mu1 = model.predict_outcomes(x)
+        np.testing.assert_allclose(mu1 - mu0, model.predict_uplift(x), atol=1e-9)
+
+    def test_single_arm_rejected(self, model_cls):
+        x = np.random.default_rng(0).normal(size=(80, 4))
+        y = np.random.default_rng(1).normal(size=80)
+        with pytest.raises(ValueError, match="treated and control"):
+            model_cls(**FAST).fit(x, y, np.ones(80, dtype=int))
+
+    def test_invalid_hyperparameters(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls(hidden=0)
+        with pytest.raises(ValueError):
+            model_cls(epochs=0)
+
+
+class TestDragonNetSpecific:
+    def test_propensity_near_assignment_rate(self):
+        x, y, t, _ = strong_effect_rct()
+        model = DragonNet(**FAST).fit(x, y, t)
+        g = model.predict_propensity(x)
+        # under RCT the propensity head converges to the treated fraction
+        assert g.mean() == pytest.approx(t.mean(), abs=0.1)
+        assert np.all((g > 0) & (g < 1))
+
+    def test_targeted_regularisation_off(self):
+        x, y, t, _ = strong_effect_rct(n=800)
+        model = DragonNet(targeted_weight=0.0, **FAST).fit(x, y, t)
+        assert np.isfinite(model.predict_uplift(x)).all()
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            DragonNet(propensity_weight=-1.0)
+
+
+class TestOffsetNetSpecific:
+    def test_uplift_is_offset_head(self):
+        x, y, t, _ = strong_effect_rct(n=600)
+        model = OffsetNet(**FAST).fit(x, y, t)
+        mu0, mu1 = model.predict_outcomes(x)
+        np.testing.assert_allclose(model.predict_uplift(x), mu1 - mu0, atol=1e-9)
+
+
+class TestSNetSpecific:
+    def test_three_representations_built(self):
+        x, y, t, _ = strong_effect_rct(n=600)
+        model = SNet(**FAST).fit(x, y, t)
+        assert len(model._networks) == 6  # 3 reprs + 2 heads + propensity

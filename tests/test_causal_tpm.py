@@ -1,0 +1,85 @@
+"""Tests for the Two-Phase Method composition."""
+
+import numpy as np
+import pytest
+
+from repro.causal.meta import TLearner
+from repro.causal.tpm import TPM_VARIANTS, TwoPhaseMethod, make_tpm
+from repro.linear import RidgeRegression
+
+
+def two_outcome_rct(n=2500, seed=0):
+    """tau_r(x) = 0.5 + 0.3 x0, tau_c(x) = 1.0 + 0.5 x1 (both positive)."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-0.9, 0.9, size=(n, 3))
+    t = rng.integers(0, 2, size=n)
+    tau_r = 0.5 + 0.3 * x[:, 0]
+    tau_c = 1.0 + 0.5 * x[:, 1]
+    y_r = 0.2 * x[:, 2] + tau_r * t + 0.2 * rng.normal(size=n)
+    y_c = 0.3 * x[:, 2] + tau_c * t + 0.2 * rng.normal(size=n)
+    return x, y_r, y_c, t, tau_r / tau_c
+
+
+def ridge_tpm():
+    factory = lambda: RidgeRegression(alpha=1e-3)
+    return TwoPhaseMethod(
+        TLearner(base_factory=factory), TLearner(base_factory=factory)
+    )
+
+
+class TestTwoPhaseMethod:
+    def test_roi_is_division_of_uplifts(self):
+        x, y_r, y_c, t, _ = two_outcome_rct()
+        tpm = ridge_tpm().fit(x, y_r, y_c, t)
+        tau_r, tau_c = tpm.predict_uplifts(x)
+        expected = tau_r / np.maximum(tau_c, tpm.cost_floor)
+        np.testing.assert_allclose(tpm.predict_roi(x), expected)
+
+    def test_recovers_roi_ranking(self):
+        x, y_r, y_c, t, roi = two_outcome_rct()
+        tpm = ridge_tpm().fit(x, y_r, y_c, t)
+        pred = tpm.predict_roi(x)
+        assert np.corrcoef(pred, roi)[0, 1] > 0.6
+
+    def test_cost_floor_guards_division(self):
+        x, y_r, y_c, t, _ = two_outcome_rct(n=500)
+        tpm = ridge_tpm()
+        tpm.cost_floor = 10.0  # force the floor to bind everywhere
+        tpm.fit(x, y_r, y_c, t)
+        pred = tpm.predict_roi(x)
+        assert np.all(np.isfinite(pred))
+        assert np.all(np.abs(pred) <= np.abs(tpm.predict_uplifts(x)[0] / 10.0) + 1e-12)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ridge_tpm().predict_roi(np.ones((1, 3)))
+
+    def test_invalid_cost_floor(self):
+        with pytest.raises(ValueError, match="cost_floor"):
+            TwoPhaseMethod(TLearner(), TLearner(), cost_floor=0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            ridge_tpm().fit(np.ones((4, 2)), np.ones(4), np.ones(3), [0, 1, 0, 1])
+
+
+class TestMakeTpm:
+    def test_all_variants_constructible(self):
+        for variant in TPM_VARIANTS:
+            tpm = make_tpm(variant, random_state=0, fast=True)
+            assert isinstance(tpm, TwoPhaseMethod)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="Unknown TPM variant"):
+            make_tpm("GPT")
+
+    def test_sl_variant_end_to_end(self):
+        x, y_r, y_c, t, roi = two_outcome_rct(n=1200)
+        tpm = make_tpm("SL", random_state=0, fast=True).fit(x, y_r, y_c, t)
+        pred = tpm.predict_roi(x)
+        assert pred.shape == (1200,)
+        assert np.all(np.isfinite(pred))
+
+    def test_revenue_and_cost_models_independent(self):
+        tpm = make_tpm("SL", random_state=0, fast=True)
+        assert tpm.revenue_model is not tpm.cost_model

@@ -1,0 +1,105 @@
+"""Tests for Algorithm 1 (greedy C-BTAP allocation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import greedy_allocation, greedy_allocation_by_roi
+
+
+class TestGreedyAllocation:
+    def test_budget_respected(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(100)
+        costs = rng.random(100) * 0.5 + 0.1
+        result = greedy_allocation(scores, costs, budget=5.0)
+        assert result.total_cost <= 5.0 + 1e-12
+
+    def test_highest_scores_selected_first(self):
+        scores = np.array([0.9, 0.5, 0.1])
+        costs = np.array([1.0, 1.0, 1.0])
+        result = greedy_allocation(scores, costs, budget=2.0)
+        np.testing.assert_array_equal(result.selected, [True, True, False])
+
+    def test_skips_unaffordable_continues_scan(self):
+        scores = np.array([0.9, 0.8, 0.7])
+        costs = np.array([10.0, 1.0, 1.0])
+        result = greedy_allocation(scores, costs, budget=2.0)
+        np.testing.assert_array_equal(result.selected, [False, True, True])
+
+    def test_zero_budget_selects_nobody(self):
+        result = greedy_allocation(np.array([0.5]), np.array([1.0]), budget=0.0)
+        assert result.n_selected == 0
+
+    def test_rewards_reported(self):
+        scores = np.array([0.9, 0.1])
+        costs = np.array([1.0, 1.0])
+        rewards = np.array([0.5, 0.2])
+        result = greedy_allocation(scores, costs, budget=1.0, rewards=rewards)
+        assert result.total_reward == pytest.approx(0.5)
+
+    def test_reward_nan_when_absent(self):
+        result = greedy_allocation(np.array([0.5]), np.array([1.0]), budget=1.0)
+        assert np.isnan(result.total_reward)
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            greedy_allocation(np.array([0.5]), np.array([0.0]), budget=1.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            greedy_allocation(np.array([0.5]), np.array([1.0]), budget=-1.0)
+
+    @given(st.integers(min_value=1, max_value=60), st.floats(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_property(self, n, budget):
+        rng = np.random.default_rng(n)
+        scores = rng.random(n)
+        costs = rng.random(n) + 0.1
+        result = greedy_allocation(scores, costs, budget)
+        assert result.total_cost <= budget + 1e-9
+        assert result.n_selected == int(result.selected.sum())
+
+    @given(st.floats(min_value=0.1, max_value=10), st.floats(min_value=0.5, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance(self, budget, scale):
+        """Scaling all costs and the budget together changes nothing.
+
+        (Note: selection count is *not* monotone in the budget for
+        skip-and-continue greedy — a larger budget can admit one
+        expensive item in place of several cheap ones — so the natural
+        monotonicity property is intentionally absent here.)
+        """
+        rng = np.random.default_rng(17)
+        scores = rng.random(40)
+        costs = rng.random(40) + 0.1
+        base = greedy_allocation(scores, costs, budget)
+        scaled = greedy_allocation(scores, costs * scale, budget * scale)
+        np.testing.assert_array_equal(base.selected, scaled.selected)
+
+
+class TestGreedyByRoi:
+    def test_equivalent_to_manual_division(self):
+        rng = np.random.default_rng(1)
+        tau_r = rng.random(50) * 0.5
+        tau_c = rng.random(50) * 0.5 + 0.1
+        by_roi = greedy_allocation_by_roi(tau_r, tau_c, budget=3.0)
+        manual = greedy_allocation(tau_r / tau_c, tau_c, budget=3.0, rewards=tau_r)
+        np.testing.assert_array_equal(by_roi.selected, manual.selected)
+        assert by_roi.total_reward == pytest.approx(manual.total_reward)
+
+    def test_nonpositive_tau_c_rejected(self):
+        with pytest.raises(ValueError, match="tau_c"):
+            greedy_allocation_by_roi(np.array([0.1]), np.array([-0.5]), budget=1.0)
+
+    def test_greedy_beats_random_in_reward(self):
+        rng = np.random.default_rng(2)
+        n = 400
+        tau_c = rng.random(n) * 0.4 + 0.1
+        roi = rng.random(n)
+        tau_r = roi * tau_c
+        budget = 0.25 * tau_c.sum()
+        greedy = greedy_allocation_by_roi(tau_r, tau_c, budget)
+        random_order = greedy_allocation(rng.random(n), tau_c, budget, rewards=tau_r)
+        assert greedy.total_reward > random_order.total_reward

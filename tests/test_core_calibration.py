@@ -1,0 +1,139 @@
+"""Tests for the heuristic calibration forms and their selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    CALIBRATION_FORMS,
+    HeuristicCalibration,
+    apply_form,
+    combine_point_and_std,
+)
+
+
+@pytest.fixture
+def toy_inputs():
+    rng = np.random.default_rng(0)
+    roi_hat = rng.random(300) * 0.8 + 0.1
+    r = rng.random(300) * 0.05 + 0.01
+    return roi_hat, r
+
+
+class TestForms:
+    def test_5a_formula(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        out = apply_form("5a", roi_hat, r, q_hat=2.0)
+        np.testing.assert_allclose(out, roi_hat * (roi_hat + 2.0 * r))
+
+    def test_5b_formula(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        out = apply_form("5b", roi_hat, r, q_hat=2.0)
+        np.testing.assert_allclose(out, roi_hat / (2.0 * r))
+
+    def test_5c_formula(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        out = apply_form("5c", roi_hat, r, q_hat=2.0)
+        np.testing.assert_allclose(out, roi_hat + 2.0 * r)
+
+    def test_identity(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        np.testing.assert_array_equal(apply_form("identity", roi_hat, r, 5.0), roi_hat)
+
+    def test_5b_zero_q_guarded(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        out = apply_form("5b", roi_hat, r, q_hat=0.0)
+        assert np.all(np.isfinite(out))
+
+    def test_unknown_form(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        with pytest.raises(ValueError, match="Unknown calibration form"):
+            apply_form("5z", roi_hat, r, 1.0)
+
+    def test_negative_q_rejected(self, toy_inputs):
+        roi_hat, r = toy_inputs
+        with pytest.raises(ValueError, match="q_hat"):
+            apply_form("5c", roi_hat, r, -1.0)
+
+    def test_registry_contents(self):
+        assert set(CALIBRATION_FORMS) == {"5a", "5b", "5c", "identity"}
+
+
+class TestCombinePointAndStd:
+    def test_add(self):
+        out = combine_point_and_std(np.array([0.5]), np.array([0.1]), how="add")
+        assert out[0] == pytest.approx(0.6)
+
+    def test_mean(self):
+        out = combine_point_and_std(np.array([0.5]), np.array([0.1]), how="mean")
+        assert out[0] == pytest.approx(0.5)
+
+    def test_invalid_how(self):
+        with pytest.raises(ValueError, match="how"):
+            combine_point_and_std(np.array([0.5]), np.array([0.1]), how="median")
+
+
+class TestHeuristicCalibration:
+    def _rct(self, n=1200, seed=0):
+        rng = np.random.default_rng(seed)
+        roi = rng.random(n) * 0.6 + 0.2
+        t = rng.integers(0, 2, size=n)
+        tau_c = 0.4
+        y_c = (rng.random(n) < 0.3 + tau_c * t).astype(float)
+        y_r = (rng.random(n) < 0.2 + roi * tau_c * t).astype(float)
+        return roi, t, y_r, y_c
+
+    def test_identity_selected_for_uninformative_noise_std(self):
+        """When r(x) is pure noise, the selector must keep the raw estimate."""
+        roi, t, y_r, y_c = self._rct()
+        rng = np.random.default_rng(1)
+        roi_hat = roi + 0.05 * rng.normal(size=roi.shape[0])  # good point estimate
+        r = 0.5 * rng.random(roi.shape[0]) + 0.1  # uninformative noise
+        calib = HeuristicCalibration(random_state=0)
+        chosen = calib.select(roi_hat, r, q_hat=2.0, t=t, y_r=y_r, y_c=y_c)
+        assert chosen == "identity"
+
+    def test_transform_before_select_raises(self):
+        calib = HeuristicCalibration()
+        with pytest.raises(RuntimeError, match="select"):
+            calib.transform(np.array([0.5]), np.array([0.1]), 1.0)
+
+    def test_transform_applies_selected_form(self):
+        roi, t, y_r, y_c = self._rct(n=600)
+        rng = np.random.default_rng(2)
+        roi_hat = roi + 0.05 * rng.normal(size=600)
+        r = np.full(600, 0.05)
+        calib = HeuristicCalibration(candidate_forms=("5c",), random_state=0)
+        calib.select(roi_hat, r, 1.0, t, y_r, y_c)
+        assert calib.selected_form_ == "5c"
+        out = calib.transform(roi_hat, r, 1.0)
+        np.testing.assert_allclose(out, roi_hat + r)
+
+    def test_selection_scores_populated(self):
+        roi, t, y_r, y_c = self._rct(n=600)
+        roi_hat = roi.copy()
+        r = np.full(600, 0.02)
+        calib = HeuristicCalibration(random_state=0)
+        calib.select(roi_hat, r, 1.0, t, y_r, y_c)
+        assert set(calib.selection_scores_) == {"5a", "5b", "5c", "identity"}
+
+    def test_small_calibration_set_defaults_to_identity(self):
+        roi, t, y_r, y_c = self._rct(n=100)
+        calib = HeuristicCalibration(random_state=0)
+        chosen = calib.select(roi, np.full(100, 0.05), 1.0, t, y_r, y_c)
+        assert chosen == "identity"
+
+    def test_invalid_forms(self):
+        with pytest.raises(ValueError, match="Unknown calibration forms"):
+            HeuristicCalibration(candidate_forms=("5a", "bogus"))
+        with pytest.raises(ValueError, match="not be empty"):
+            HeuristicCalibration(candidate_forms=())
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError, match="selection_margin"):
+            HeuristicCalibration(selection_margin=-0.1)
+
+    def test_no_bootstrap_single_shot_mode(self):
+        roi, t, y_r, y_c = self._rct(n=600)
+        calib = HeuristicCalibration(n_bootstrap=0, random_state=0)
+        chosen = calib.select(roi, np.full(600, 0.05), 1.0, t, y_r, y_c)
+        assert chosen in CALIBRATION_FORMS

@@ -1,0 +1,149 @@
+"""Tests for conformal prediction (Eq. 3, Algorithm 3, Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conformal import (
+    ConformalCalibrator,
+    conformal_quantile,
+    conformal_score,
+    empirical_coverage,
+    prediction_interval,
+)
+
+
+class TestConformalScore:
+    def test_formula(self):
+        score = conformal_score(
+            np.array([0.5, 0.8]), np.array([0.4, 0.6]), np.array([0.1, 0.2])
+        )
+        np.testing.assert_allclose(score, [1.0, 1.0])
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            conformal_score(np.array([0.5]), np.array([0.4]), np.array([0.0]))
+
+    def test_symmetric_in_error_sign(self):
+        a = conformal_score(np.array([0.6]), np.array([0.4]), np.array([0.1]))
+        b = conformal_score(np.array([0.2]), np.array([0.4]), np.array([0.1]))
+        np.testing.assert_allclose(a, b)
+
+
+class TestConformalQuantile:
+    def test_small_sample_takes_max(self):
+        scores = np.array([1.0, 2.0, 3.0])
+        # ceil(0.9 * 4) = 4 > 3 -> max
+        assert conformal_quantile(scores, alpha=0.1) == 3.0
+
+    def test_large_sample_formula(self):
+        scores = np.arange(1.0, 100.0)  # 99 scores
+        # rank = ceil(0.9*100) = 90 -> 90th smallest = 90
+        assert conformal_quantile(scores, alpha=0.1) == 90.0
+
+    def test_alpha_monotonicity(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(200)
+        q_strict = conformal_quantile(scores, alpha=0.05)
+        q_loose = conformal_quantile(scores, alpha=0.5)
+        assert q_strict >= q_loose
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            conformal_quantile(np.ones(5), alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            conformal_quantile(np.ones(5), alpha=1.0)
+
+    @given(st.integers(min_value=20, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_quantile_is_an_observed_score(self, n):
+        rng = np.random.default_rng(n)
+        scores = rng.random(n)
+        q = conformal_quantile(scores, alpha=0.1)
+        assert np.any(np.isclose(scores, q))
+
+
+class TestPredictionInterval:
+    def test_symmetric_around_point(self):
+        lower, upper = prediction_interval(np.array([0.5]), np.array([0.1]), q_hat=2.0)
+        assert lower[0] == pytest.approx(0.3)
+        assert upper[0] == pytest.approx(0.7)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError, match="q_hat"):
+            prediction_interval(np.array([0.5]), np.array([0.1]), q_hat=-1.0)
+
+    def test_zero_q_degenerate(self):
+        lower, upper = prediction_interval(np.array([0.5]), np.array([0.1]), q_hat=0.0)
+        np.testing.assert_allclose(lower, upper)
+
+
+class TestCoverageGuarantee:
+    """Monte-Carlo verification of Eq. 4 on exchangeable data."""
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.2])
+    def test_marginal_coverage_at_least_one_minus_alpha(self, alpha):
+        rng = np.random.default_rng(42)
+        coverages = []
+        for _ in range(60):
+            n_cal, n_test = 200, 200
+            # exchangeable synthetic: target = pred + noise*std
+            std_cal = 0.05 + rng.random(n_cal) * 0.1
+            std_test = 0.05 + rng.random(n_test) * 0.1
+            pred_cal = rng.random(n_cal)
+            pred_test = rng.random(n_test)
+            target_cal = pred_cal + std_cal * rng.normal(size=n_cal)
+            target_test = pred_test + std_test * rng.normal(size=n_test)
+
+            calibrator = ConformalCalibrator(alpha=alpha)
+            calibrator.calibrate(target_cal, pred_cal, std_cal)
+            lower, upper = calibrator.interval(pred_test, std_test)
+            coverages.append(empirical_coverage(target_test, lower, upper))
+        mean_coverage = float(np.mean(coverages))
+        # Eq. 4: P(target in C) >= 1 - alpha (allow MC slack)
+        assert mean_coverage >= 1.0 - alpha - 0.02
+
+    def test_coverage_not_wildly_conservative(self):
+        """With a well-specified score the coverage is near 1 - alpha."""
+        rng = np.random.default_rng(7)
+        coverages = []
+        for _ in range(40):
+            n = 300
+            std = np.full(n, 0.1)
+            pred = rng.random(n)
+            target = pred + std * rng.normal(size=n)
+            pred_t = rng.random(n)
+            target_t = pred_t + std * rng.normal(size=n)
+            cal = ConformalCalibrator(alpha=0.2).calibrate(target, pred, std)
+            lower, upper = cal.interval(pred_t, std)
+            coverages.append(empirical_coverage(target_t, lower, upper))
+        assert 0.75 <= float(np.mean(coverages)) <= 0.9
+
+
+class TestConformalCalibrator:
+    def test_interval_before_calibrate_raises(self):
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            ConformalCalibrator().interval(np.array([0.5]), np.array([0.1]))
+
+    def test_q_hat_property(self):
+        cal = ConformalCalibrator(alpha=0.1)
+        with pytest.raises(RuntimeError):
+            _ = cal.q_hat
+        cal.calibrate(np.array([0.5] * 30), np.array([0.4] * 30), np.array([0.1] * 30))
+        assert cal.q_hat == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ConformalCalibrator(alpha=1.5)
+
+
+class TestEmpiricalCoverage:
+    def test_all_covered(self):
+        assert empirical_coverage(np.array([0.5]), np.array([0.0]), np.array([1.0])) == 1.0
+
+    def test_none_covered(self):
+        assert empirical_coverage(np.array([2.0]), np.array([0.0]), np.array([1.0])) == 0.0
+
+    def test_boundary_inclusive(self):
+        assert empirical_coverage(np.array([1.0]), np.array([0.0]), np.array([1.0])) == 1.0

@@ -1,0 +1,126 @@
+"""Tests for the beyond-the-paper extensions (isotonic recalibration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extensions import IsotonicRoiRecalibration, pav_isotonic
+
+
+class TestPavIsotonic:
+    def test_already_monotone_unchanged(self):
+        values = np.array([0.1, 0.2, 0.5, 0.9])
+        np.testing.assert_allclose(pav_isotonic(values), values)
+
+    def test_single_violation_pooled(self):
+        values = np.array([0.1, 0.5, 0.3, 0.9])
+        out = pav_isotonic(values)
+        np.testing.assert_allclose(out, [0.1, 0.4, 0.4, 0.9])
+
+    def test_fully_decreasing_collapses_to_mean(self):
+        values = np.array([3.0, 2.0, 1.0])
+        np.testing.assert_allclose(pav_isotonic(values), [2.0, 2.0, 2.0])
+
+    def test_weights_shift_pooled_mean(self):
+        values = np.array([0.0, 1.0, 0.0])
+        out = pav_isotonic(values, weights=np.array([1.0, 1.0, 3.0]))
+        # blocks 2,3 pool: (1*1 + 0*3)/4 = 0.25
+        np.testing.assert_allclose(out, [0.0, 0.25, 0.25])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            pav_isotonic(np.array([1.0, 2.0]), weights=np.array([1.0, 0.0]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_output_monotone_and_mean_preserving(self, raw):
+        values = np.asarray(raw)
+        out = pav_isotonic(values)
+        assert np.all(np.diff(out) >= -1e-12)
+        assert out.mean() == pytest.approx(values.mean(), abs=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, raw):
+        values = np.asarray(raw)
+        once = pav_isotonic(values)
+        twice = pav_isotonic(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestIsotonicRoiRecalibration:
+    def _calibration_rct(self, n=6000, seed=0, miscalibrated=True):
+        """roi_hat is a *distorted* but order-preserving view of roi."""
+        rng = np.random.default_rng(seed)
+        roi = np.linspace(0.15, 0.85, n)
+        rng.shuffle(roi)
+        t = rng.integers(0, 2, size=n)
+        tau_c = 0.5
+        y_c = (rng.random(n) < 0.2 + tau_c * t).astype(float)
+        y_r = (rng.random(n) < 0.1 + roi * tau_c * t).astype(float)
+        roi_hat = roi**3 if miscalibrated else roi  # monotone distortion
+        return roi, roi_hat, t, y_r, y_c
+
+    def test_recalibration_corrects_scale(self):
+        roi, roi_hat, t, y_r, y_c = self._calibration_rct()
+        recal = IsotonicRoiRecalibration(n_bins=12).fit(roi_hat, t, y_r, y_c)
+        out = recal.transform(roi_hat)
+        # the recalibrated values should be closer to the true roi scale
+        err_before = float(np.mean(np.abs(roi_hat - roi)))
+        err_after = float(np.mean(np.abs(out - roi)))
+        assert err_after < err_before
+
+    def test_transform_is_monotone(self):
+        _, roi_hat, t, y_r, y_c = self._calibration_rct()
+        recal = IsotonicRoiRecalibration(n_bins=10).fit(roi_hat, t, y_r, y_c)
+        grid = np.linspace(roi_hat.min(), roi_hat.max(), 200)
+        out = recal.transform(grid)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_output_within_roi_range(self):
+        _, roi_hat, t, y_r, y_c = self._calibration_rct()
+        recal = IsotonicRoiRecalibration(n_bins=10).fit(roi_hat, t, y_r, y_c)
+        out = recal.transform(np.array([-100.0, 0.5, 100.0]))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            IsotonicRoiRecalibration().transform(np.array([0.5]))
+
+    def test_too_small_calibration_rejected(self):
+        rng = np.random.default_rng(0)
+        n = 30
+        roi_hat = rng.random(n)
+        t = rng.integers(0, 2, size=n)
+        t[:2] = [0, 1]
+        y_r = rng.random(n)
+        y_c = rng.random(n)
+        with pytest.raises(ValueError, match="calibration"):
+            IsotonicRoiRecalibration(n_bins=10, min_arm_per_bin=50).fit(
+                roi_hat, t, y_r, y_c
+            )
+
+    def test_fit_transform_equivalent(self):
+        _, roi_hat, t, y_r, y_c = self._calibration_rct(n=3000)
+        a = IsotonicRoiRecalibration(n_bins=8).fit_transform(roi_hat, t, y_r, y_c)
+        b = IsotonicRoiRecalibration(n_bins=8).fit(roi_hat, t, y_r, y_c).transform(roi_hat)
+        np.testing.assert_allclose(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            IsotonicRoiRecalibration(n_bins=1)
+        with pytest.raises(ValueError, match="min_arm_per_bin"):
+            IsotonicRoiRecalibration(min_arm_per_bin=0)

@@ -1,0 +1,118 @@
+"""End-to-end tests for the rDRP pipeline (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rdrp import RobustDRP
+from repro.metrics.aucc import aucc
+
+
+@pytest.fixture(scope="module")
+def fitted_rdrp():
+    """One shared fit across this module's read-only tests (expensive)."""
+    from repro.data.synthetic import SyntheticRCTConfig, generate_rct
+
+    gen = np.random.default_rng(2024)
+    n = 3000
+    x = gen.normal(size=(n, 5))
+    config = SyntheticRCTConfig(
+        roi_low=0.05,
+        roi_high=0.95,
+        cost_low=0.2,
+        cost_high=0.5,
+        base_cost_rate=0.4,
+        base_revenue_rate=0.3,
+        p_treat=0.5,
+        noise_scale=0.1,
+    )
+    data = generate_rct(n, x, config, random_state=gen, name="rdrp-test")
+    train = data.subset(np.arange(0, 1800))
+    calib = data.subset(np.arange(1800, 2400))
+    test = data.subset(np.arange(2400, n))
+
+    model = RobustDRP(random_state=0, hidden=16, epochs=40, mc_samples=10, n_restarts=2)
+    model.fit(train.x, train.t, train.y_r, train.y_c)
+    model.calibrate(calib.x, calib.t, calib.y_r, calib.y_c)
+    return model, train, calib, test
+
+
+class TestPipeline:
+    def test_predict_roi_shape_and_finiteness(self, fitted_rdrp):
+        model, _, _, test = fitted_rdrp
+        froi = model.predict_roi(test.x)
+        assert froi.shape == (test.n,)
+        assert np.all(np.isfinite(froi))
+
+    def test_selected_form_is_valid(self, fitted_rdrp):
+        model, *_ = fitted_rdrp
+        assert model.selected_form in {"5a", "5b", "5c", "identity"}
+
+    def test_q_hat_positive(self, fitted_rdrp):
+        model, *_ = fitted_rdrp
+        assert model.q_hat > 0
+
+    def test_intervals_contain_point_estimate(self, fitted_rdrp):
+        model, _, _, test = fitted_rdrp
+        lower, upper = model.predict_interval(test.x)
+        roi_hat, _ = model._point_and_std(test.x)
+        assert np.all(lower <= upper)
+        # the interval is centred on roî: the MC redraw moves the centre
+        # slightly, so allow a small tolerance
+        assert np.mean((roi_hat >= lower - 0.1) & (roi_hat <= upper + 0.1)) > 0.95
+
+    def test_ranking_beats_random(self, fitted_rdrp):
+        model, _, _, test = fitted_rdrp
+        froi = model.predict_roi(test.x)
+        rng = np.random.default_rng(0)
+        score_model = aucc(froi, test.t, test.y_r, test.y_c)
+        score_random = np.mean(
+            [
+                aucc(rng.random(test.n), test.t, test.y_r, test.y_c)
+                for _ in range(10)
+            ]
+        )
+        assert score_model > score_random
+
+    def test_interval_covers_binned_roi_star_on_test(self, fitted_rdrp):
+        """Eq. 4 transfer check: coverage of the test-set surrogate labels."""
+        model, _, _, test = fitted_rdrp
+        roi_hat, _ = model._point_and_std(test.x)
+        roi_star = model.roi_star_estimator.estimate(roi_hat, test.t, test.y_r, test.y_c)
+        lower, upper = model.predict_interval(test.x)
+        coverage = float(np.mean((roi_star >= lower) & (roi_star <= upper)))
+        # alpha = 0.1; allow slack for the finite test set and MC redraw
+        assert coverage >= 0.75
+
+
+class TestGuards:
+    def test_predict_before_calibrate(self, easy_rct):
+        data = easy_rct
+        model = RobustDRP(random_state=0, hidden=16, epochs=3, n_restarts=1)
+        model.fit(data.x, data.t, data.y_r, data.y_c)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            model.predict_roi(data.x)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            model.predict_interval(data.x)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            _ = model.selected_form
+
+    def test_calibrate_requires_both_arms(self, easy_rct):
+        data = easy_rct
+        model = RobustDRP(random_state=0, hidden=16, epochs=3, n_restarts=1)
+        model.fit(data.x, data.t, data.y_r, data.y_c)
+        with pytest.raises(ValueError, match="treated and control"):
+            model.calibrate(
+                data.x[:50], np.ones(50, dtype=int), data.y_r[:50], data.y_c[:50]
+            )
+
+    def test_invalid_mc_samples(self):
+        with pytest.raises(ValueError, match="mc_samples"):
+            RobustDRP(mc_samples=1)
+
+    def test_prebuilt_drp_accepted(self, easy_rct):
+        from repro.core.drp import DRPModel
+
+        data = easy_rct
+        drp = DRPModel(hidden=16, epochs=3, n_restarts=1, random_state=0)
+        model = RobustDRP(drp=drp)
+        assert model.drp is drp

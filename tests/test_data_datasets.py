@@ -1,0 +1,107 @@
+"""Tests for the three dataset analogs (criteo / meituan / alibaba)."""
+
+import numpy as np
+import pytest
+
+from repro.data import alibaba_lift, criteo_uplift_v2, meituan_lift
+
+
+class TestCriteo:
+    def test_shape_matches_paper(self):
+        data = criteo_uplift_v2(2000, random_state=0)
+        assert data.n == 2000
+        assert data.n_features == 12  # the paper's 12 feature variables
+
+    def test_treated_fraction_085(self):
+        data = criteo_uplift_v2(20000, random_state=0)
+        assert data.t.mean() == pytest.approx(0.85, abs=0.02)
+
+    def test_visit_more_common_than_conversion(self):
+        """Visit is the cost outcome, conversion the revenue outcome."""
+        data = criteo_uplift_v2(20000, random_state=0)
+        assert data.y_c.mean() > data.y_r.mean()
+
+    def test_deterministic(self):
+        a = criteo_uplift_v2(500, random_state=3)
+        b = criteo_uplift_v2(500, random_state=3)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y_r, b.y_r)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError, match="n must be"):
+            criteo_uplift_v2(5)
+
+    def test_summary(self):
+        summary = criteo_uplift_v2(500, random_state=0).summary()
+        assert summary["name"] == "criteo"
+        assert summary["n_features"] == 12
+
+
+class TestMeituan:
+    def test_99_features(self):
+        data = meituan_lift(3000, random_state=0)
+        assert data.n_features == 99  # the paper's 99 attributes
+
+    def test_binarisation_keeps_two_of_five_levels(self):
+        data = meituan_lift(10000, random_state=0)
+        # uniform 5-level assignment keeps ~40% of rows
+        assert 0.3 * 10000 < data.n < 0.5 * 10000
+        # the two kept arms are roughly balanced
+        assert data.t.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_sparse_attribute_block_is_binary(self):
+        data = meituan_lift(2000, random_state=0)
+        sparse_block = data.x[:, 40:]
+        assert set(np.unique(sparse_block)) <= {0.0, 1.0}
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError, match="selected_levels"):
+            meituan_lift(1000, selected_levels=(3, 1))
+
+    def test_deterministic(self):
+        a = meituan_lift(1000, random_state=9)
+        b = meituan_lift(1000, random_state=9)
+        np.testing.assert_array_equal(a.x, b.x)
+
+
+class TestAlibaba:
+    def test_feature_layout(self):
+        data = alibaba_lift(2000, random_state=0)
+        # 25 discrete + 9 multivalued-count columns
+        assert data.n_features == 34
+        assert data.feature_names[0] == "disc0"
+        assert data.feature_names[-1] == "multi8"
+
+    def test_balanced_treatment(self):
+        data = alibaba_lift(10000, random_state=0)
+        assert data.t.mean() == pytest.approx(0.5, abs=0.03)
+
+    def test_exposure_more_common_than_conversion(self):
+        data = alibaba_lift(20000, random_state=0)
+        assert data.y_c.mean() > data.y_r.mean()
+
+    def test_standardised_columns(self):
+        data = alibaba_lift(5000, random_state=0)
+        means = data.x.mean(axis=0)
+        assert np.all(np.abs(means) < 0.3)
+
+
+@pytest.mark.parametrize("generator", [criteo_uplift_v2, meituan_lift, alibaba_lift])
+class TestSharedInvariants:
+    def test_paper_assumptions_hold(self, generator):
+        data = generator(3000, random_state=1)
+        assert np.all(data.roi > 0) and np.all(data.roi < 1)
+        assert np.all(data.tau_c > 0) and np.all(data.tau_r > 0)
+        np.testing.assert_allclose(data.roi, data.tau_r / data.tau_c)
+
+    def test_subset_and_split(self, generator):
+        data = generator(3000, random_state=1)
+        sub = data.subset(np.arange(10))
+        assert sub.n == 10
+        parts = data.split((0.5, 0.25, 0.25), random_state=0)
+        assert sum(p.n for p in parts) == pytest.approx(data.n, abs=3)
+
+    def test_sample_fraction(self, generator):
+        data = generator(3000, random_state=1)
+        small = data.sample_fraction(0.15, random_state=0)
+        assert small.n == pytest.approx(0.15 * data.n, abs=2)

@@ -1,0 +1,133 @@
+"""Tests for the RCTDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.rct import RCTDataset
+
+
+def make_dataset(n=100, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    tau_c = rng.random(n) * 0.3 + 0.1
+    roi = rng.random(n) * 0.8 + 0.1
+    return RCTDataset(
+        x=rng.normal(size=(n, d)),
+        t=rng.integers(0, 2, size=n),
+        y_r=(rng.random(n) < 0.3).astype(float),
+        y_c=(rng.random(n) < 0.5).astype(float),
+        tau_r=roi * tau_c,
+        tau_c=tau_c,
+        roi=roi,
+        name="unit",
+    )
+
+
+class TestConstruction:
+    def test_properties(self):
+        data = make_dataset()
+        assert data.n == 100
+        assert data.n_features == 3
+        assert data.n_treated + data.n_control == 100
+
+    def test_default_feature_names(self):
+        data = make_dataset(d=4)
+        assert data.feature_names == ["f0", "f1", "f2", "f3"]
+
+    def test_length_mismatch_rejected(self):
+        base = make_dataset()
+        with pytest.raises(ValueError, match="length"):
+            RCTDataset(
+                x=base.x,
+                t=base.t[:50],
+                y_r=base.y_r,
+                y_c=base.y_c,
+                tau_r=base.tau_r,
+                tau_c=base.tau_c,
+                roi=base.roi,
+            )
+
+
+class TestSubset:
+    def test_boolean_mask(self):
+        data = make_dataset()
+        sub = data.subset(data.t == 1)
+        assert sub.n == data.n_treated
+        assert np.all(sub.t == 1)
+
+    def test_index_array_order_preserved(self):
+        data = make_dataset()
+        sub = data.subset(np.array([5, 2, 9]))
+        np.testing.assert_array_equal(sub.x, data.x[[5, 2, 9]])
+
+    def test_subset_is_a_copy_view_consistent(self):
+        data = make_dataset()
+        sub = data.subset(np.arange(10))
+        assert sub.name == data.name
+        assert sub.feature_names == data.feature_names
+        assert sub.feature_names is not data.feature_names  # independent list
+
+
+class TestSplit:
+    def test_fraction_sizes(self):
+        data = make_dataset(n=200)
+        a, b = data.split((0.6, 0.4), random_state=0)
+        assert a.n == 120
+        assert b.n == 80
+
+    def test_disjoint(self):
+        data = make_dataset(n=200)
+        a, b = data.split((0.5, 0.5), random_state=0)
+        rows_a = {tuple(np.round(r, 9)) for r in a.x}
+        rows_b = {tuple(np.round(r, 9)) for r in b.x}
+        assert not rows_a & rows_b
+
+    def test_partial_split_allowed(self):
+        data = make_dataset(n=200)
+        (a,) = data.split((0.25,), random_state=0)
+        assert a.n == 50
+
+    def test_oversubscribed_rejected(self):
+        data = make_dataset()
+        with pytest.raises(ValueError, match="sum to <= 1"):
+            data.split((0.7, 0.7))
+
+    def test_nonpositive_fraction_rejected(self):
+        data = make_dataset()
+        with pytest.raises(ValueError, match="positive"):
+            data.split((0.5, -0.1))
+
+    def test_reproducible(self):
+        data = make_dataset(n=200)
+        a1, _ = data.split((0.5, 0.5), random_state=7)
+        a2, _ = data.split((0.5, 0.5), random_state=7)
+        np.testing.assert_array_equal(a1.x, a2.x)
+
+
+class TestSampleFraction:
+    def test_size(self):
+        data = make_dataset(n=400)
+        small = data.sample_fraction(0.15, random_state=0)
+        assert small.n == 60
+
+    def test_no_duplicates(self):
+        data = make_dataset(n=400)
+        small = data.sample_fraction(0.5, random_state=0)
+        rounded = np.round(small.x, 9)
+        assert np.unique(rounded, axis=0).shape[0] == small.n
+
+    def test_invalid_fraction(self):
+        data = make_dataset()
+        with pytest.raises(ValueError, match="fraction"):
+            data.sample_fraction(0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            data.sample_fraction(1.5)
+
+
+class TestSummary:
+    def test_keys_and_values(self):
+        data = make_dataset()
+        summary = data.summary()
+        assert summary["name"] == "unit"
+        assert summary["n"] == 100
+        assert 0.0 <= summary["treated_fraction"] <= 1.0
+        assert 0.0 < summary["mean_true_roi"] < 1.0

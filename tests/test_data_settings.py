@@ -1,0 +1,95 @@
+"""Tests for the four experimental settings (SuNo/SuCo/InNo/InCo)."""
+
+import numpy as np
+import pytest
+
+from repro.data.settings import (
+    DATASET_NAMES,
+    INSUFFICIENT_RATE,
+    SETTING_NAMES,
+    load_dataset,
+    make_setting,
+)
+from repro.data.shift import shift_direction
+
+
+class TestLoadDataset:
+    def test_all_names(self):
+        for name in DATASET_NAMES:
+            data = load_dataset(name, 600, random_state=0)
+            assert data.n >= 200
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="Unknown dataset"):
+            load_dataset("kaggle", 100)
+
+
+class TestMakeSetting:
+    def test_setting_names_complete(self):
+        assert SETTING_NAMES == ("SuNo", "SuCo", "InNo", "InCo")
+
+    def test_insufficient_is_015_subsample(self):
+        su = make_setting("criteo", "SuNo", n_sufficient=4000, random_state=0)
+        in_ = make_setting("criteo", "InNo", n_sufficient=4000, random_state=0)
+        ratio = in_.train.n / su.train.n
+        assert ratio == pytest.approx(INSUFFICIENT_RATE, abs=0.02)
+
+    def test_calibration_and_test_same_size_across_shift(self):
+        no = make_setting("criteo", "SuNo", n_sufficient=4000, random_state=0)
+        co = make_setting("criteo", "SuCo", n_sufficient=4000, random_state=0)
+        assert abs(no.calibration.n - co.calibration.n) <= 2
+        assert abs(no.test.n - co.test.n) <= 2
+
+    def test_shift_applied_to_calibration_and_test_only(self):
+        data = make_setting("criteo", "SuCo", n_sufficient=6000, random_state=0)
+        direction = shift_direction(data.train)
+        train_proj = float((data.train.x @ direction).mean())
+        calib_proj = float((data.calibration.x @ direction).mean())
+        test_proj = float((data.test.x @ direction).mean())
+        # calibration/test tilted upward; train stays near the origin
+        assert calib_proj > train_proj + 0.2
+        assert test_proj > train_proj + 0.2
+
+    def test_no_shift_setting_unshifted(self):
+        data = make_setting("criteo", "SuNo", n_sufficient=6000, random_state=0)
+        direction = shift_direction(data.train)
+        train_proj = float((data.train.x @ direction).mean())
+        test_proj = float((data.test.x @ direction).mean())
+        assert abs(test_proj - train_proj) < 0.2
+
+    def test_calibration_matches_test_distribution(self):
+        """Assumption 6: calibration and test share the (shifted) law."""
+        data = make_setting("criteo", "InCo", n_sufficient=6000, random_state=0)
+        direction = shift_direction(data.train)
+        calib_proj = float((data.calibration.x @ direction).mean())
+        test_proj = float((data.test.x @ direction).mean())
+        assert calib_proj == pytest.approx(test_proj, abs=0.25)
+
+    def test_flags(self):
+        data = make_setting("criteo", "InCo", n_sufficient=3000, random_state=0)
+        assert data.has_shift is True
+        assert data.is_sufficient is False
+        assert data.setting == "InCo"
+        assert data.dataset == "criteo"
+
+    def test_unknown_setting(self):
+        with pytest.raises(ValueError, match="Unknown setting"):
+            make_setting("criteo", "SuX")
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError, match="must be < 1"):
+            make_setting("criteo", "SuNo", calibration_fraction=0.6, test_fraction=0.6)
+
+    def test_splits_disjoint(self):
+        data = make_setting("criteo", "SuNo", n_sufficient=3000, random_state=0)
+        train_rows = {tuple(np.round(r, 9)) for r in data.train.x}
+        test_rows = {tuple(np.round(r, 9)) for r in data.test.x}
+        assert not (train_rows & test_rows)
+
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    def test_all_datasets_all_settings_construct(self, dataset):
+        for setting in SETTING_NAMES:
+            data = make_setting(dataset, setting, n_sufficient=2500, random_state=0)
+            assert data.train.n > 50
+            assert data.calibration.n > 50
+            assert data.test.n > 50

@@ -1,0 +1,95 @@
+"""Tests for the covariate-shift machinery."""
+
+import numpy as np
+import pytest
+
+from repro.data import criteo_uplift_v2
+from repro.data.shift import exponential_tilt_shift, shift_direction
+
+
+@pytest.fixture(scope="module")
+def base():
+    return criteo_uplift_v2(6000, random_state=0)
+
+
+class TestShiftDirection:
+    def test_unit_norm(self, base):
+        d = shift_direction(base)
+        assert np.linalg.norm(d) == pytest.approx(1.0)
+
+    def test_first_features_support(self, base):
+        d = shift_direction(base, kind="first_features")
+        k = max(2, base.n_features // 4)
+        assert np.all(d[:k] > 0)
+        assert np.all(d[k:] == 0)
+
+    def test_random_is_deterministic(self, base):
+        a = shift_direction(base, kind="random")
+        b = shift_direction(base, kind="random")
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_kind(self, base):
+        with pytest.raises(ValueError, match="Unknown shift direction"):
+            shift_direction(base, kind="sideways")
+
+
+class TestExponentialTilt:
+    def test_mean_moves_along_direction(self, base):
+        direction = shift_direction(base)
+        shifted = exponential_tilt_shift(base, strength=1.5, random_state=0)
+        before = float((base.x @ direction).mean())
+        after = float((shifted.x @ direction).mean())
+        assert after > before
+
+    def test_conditional_law_preserved(self, base):
+        """Each kept row carries its original (x, y) pair: Y|X untouched."""
+        shifted = exponential_tilt_shift(base, strength=1.0, random_state=0)
+        # every shifted row must exist verbatim in the source
+        source_rows = {tuple(np.round(row, 9)) for row in base.x}
+        for row in shifted.x[:200]:
+            assert tuple(np.round(row, 9)) in source_rows
+
+    def test_without_replacement_rows_unique(self, base):
+        shifted = exponential_tilt_shift(base, strength=1.0, random_state=0)
+        rounded = np.round(shifted.x, 9)
+        unique = np.unique(rounded, axis=0)
+        assert unique.shape[0] == shifted.n
+
+    def test_default_output_half_size(self, base):
+        shifted = exponential_tilt_shift(base, strength=1.0, random_state=0)
+        assert shifted.n == base.n // 2
+
+    def test_zero_strength_is_uniform_subsample(self, base):
+        shifted = exponential_tilt_shift(base, strength=0.0, random_state=0)
+        direction = shift_direction(base)
+        before = float((base.x @ direction).mean())
+        after = float((shifted.x @ direction).mean())
+        assert after == pytest.approx(before, abs=0.15)
+
+    def test_ground_truth_rides_along(self, base):
+        shifted = exponential_tilt_shift(base, strength=1.0, random_state=0)
+        np.testing.assert_allclose(shifted.roi, shifted.tau_r / shifted.tau_c)
+
+    def test_n_out_too_large_rejected(self, base):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            exponential_tilt_shift(base, n_out=base.n + 1)
+
+    def test_negative_strength_rejected(self, base):
+        with pytest.raises(ValueError, match="strength"):
+            exponential_tilt_shift(base, strength=-1.0)
+
+    def test_wrong_direction_length(self, base):
+        with pytest.raises(ValueError, match="direction"):
+            exponential_tilt_shift(base, direction=np.ones(3))
+
+    def test_name_tagged(self, base):
+        shifted = exponential_tilt_shift(base, strength=1.0, random_state=0)
+        assert shifted.name.endswith("-shifted")
+
+    def test_stronger_tilt_moves_further(self, base):
+        direction = shift_direction(base)
+        weak = exponential_tilt_shift(base, strength=0.5, random_state=0)
+        strong = exponential_tilt_shift(base, strength=2.5, random_state=0)
+        proj_weak = float((weak.x @ direction).mean())
+        proj_strong = float((strong.x @ direction).mean())
+        assert proj_strong > proj_weak

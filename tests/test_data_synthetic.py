@@ -1,0 +1,128 @@
+"""Tests for the structural RCT generator and its paper assumptions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import SyntheticRCTConfig, generate_rct
+
+
+def make(n=4000, seed=0, config=None, **kwargs):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 6))
+    cfg = config or SyntheticRCTConfig()
+    return generate_rct(n, x, cfg, random_state=rng, **kwargs)
+
+
+class TestAssumptions:
+    def test_roi_in_open_unit_interval(self):
+        """Assumption 3: ROI constrained to (0, 1)."""
+        data = make()
+        assert np.all(data.roi > 0)
+        assert np.all(data.roi < 1)
+
+    def test_positive_effects(self):
+        """Assumption 4: tau_r > 0 and tau_c > 0."""
+        data = make()
+        assert np.all(data.tau_r > 0)
+        assert np.all(data.tau_c > 0)
+
+    def test_roi_definition(self):
+        """Definition 2: roi = tau_r / tau_c."""
+        data = make()
+        np.testing.assert_allclose(data.roi, data.tau_r / data.tau_c, rtol=1e-9)
+
+    def test_rct_assignment_independent_of_features(self):
+        """Assumption 1: treated and control feature means agree."""
+        data = make(n=20000)
+        mean_treated = data.x[data.t == 1].mean(axis=0)
+        mean_control = data.x[data.t == 0].mean(axis=0)
+        np.testing.assert_allclose(mean_treated, mean_control, atol=0.06)
+
+    def test_realised_effects_match_structural(self):
+        """Difference-in-means on a big sample recovers mean tau."""
+        data = make(n=60000)
+        est_tau_c = data.y_c[data.t == 1].mean() - data.y_c[data.t == 0].mean()
+        est_tau_r = data.y_r[data.t == 1].mean() - data.y_r[data.t == 0].mean()
+        assert est_tau_c == pytest.approx(data.tau_c.mean(), abs=0.02)
+        assert est_tau_r == pytest.approx(data.tau_r.mean(), abs=0.02)
+
+    def test_binary_outcomes(self):
+        data = make()
+        assert set(np.unique(data.y_r)) <= {0.0, 1.0}
+        assert set(np.unique(data.y_c)) <= {0.0, 1.0}
+
+    @given(st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_p_treat_respected(self, p):
+        cfg = SyntheticRCTConfig(p_treat=p)
+        data = make(n=8000, config=cfg)
+        assert data.t.mean() == pytest.approx(p, abs=0.05)
+
+
+class TestConfigValidation:
+    def test_bad_roi_range(self):
+        with pytest.raises(ValueError, match="roi_low"):
+            SyntheticRCTConfig(roi_low=0.9, roi_high=0.1).validate()
+
+    def test_bad_cost_range(self):
+        with pytest.raises(ValueError, match="cost_low"):
+            SyntheticRCTConfig(cost_low=0.5, cost_high=0.1).validate()
+
+    def test_bad_p_treat(self):
+        with pytest.raises(ValueError, match="p_treat"):
+            SyntheticRCTConfig(p_treat=1.0).validate()
+
+    def test_bad_base_rates(self):
+        with pytest.raises(ValueError, match="Base rates"):
+            SyntheticRCTConfig(base_cost_rate=0.0).validate()
+
+
+class TestCustomAssignment:
+    def test_custom_t_used(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        x = rng.normal(size=(n, 4))
+        t = np.array([1, 0] * (n // 2))
+        data = generate_rct(n, x, SyntheticRCTConfig(), random_state=0, t=t)
+        np.testing.assert_array_equal(data.t, t)
+
+    def test_custom_t_wrong_length(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="length"):
+            generate_rct(10, x, SyntheticRCTConfig(), t=np.ones(5, dtype=int))
+
+    def test_custom_t_nonbinary(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="binary"):
+            generate_rct(10, x, SyntheticRCTConfig(), t=np.full(10, 2))
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make(seed=5)
+        b = make(seed=5)
+        np.testing.assert_array_equal(a.y_r, b.y_r)
+        np.testing.assert_array_equal(a.t, b.t)
+
+    def test_structural_weights_stable_across_calls(self):
+        """Same name -> same ground-truth function (process-stable)."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 6))
+        a = generate_rct(100, x, SyntheticRCTConfig(), random_state=1, name="stable")
+        b = generate_rct(100, x, SyntheticRCTConfig(), random_state=2, name="stable")
+        np.testing.assert_allclose(a.roi, b.roi)
+
+    def test_different_names_different_truth(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 6))
+        a = generate_rct(100, x, SyntheticRCTConfig(), random_state=1, name="alpha")
+        b = generate_rct(100, x, SyntheticRCTConfig(), random_state=1, name="beta")
+        assert not np.allclose(a.roi, b.roi)
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            generate_rct(5, np.ones((4, 2)), SyntheticRCTConfig())

@@ -1,0 +1,110 @@
+"""Integration tests wiring the whole system together.
+
+These follow the paper's experimental protocol end-to-end at miniature
+scale: build a setting, train DRP/rDRP and a TPM baseline, evaluate the
+AUCC ordering, and solve C-BTAP with the greedy allocator.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def criteo_suno():
+    return repro.make_setting("criteo", "SuNo", n_sufficient=6000, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_models(criteo_suno):
+    data = criteo_suno
+    rdrp = repro.RobustDRP(random_state=0, hidden=32, epochs=60, mc_samples=10)
+    rdrp.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
+    rdrp.calibrate(
+        data.calibration.x,
+        data.calibration.t,
+        data.calibration.y_r,
+        data.calibration.y_c,
+    )
+    return rdrp
+
+
+class TestTableOneMiniature:
+    def test_drp_beats_random_ranking(self, criteo_suno, fitted_models):
+        data, rdrp = criteo_suno, fitted_models
+        te = data.test
+        rng = np.random.default_rng(0)
+        drp_score = repro.aucc(rdrp.drp.predict_roi(te.x), te.t, te.y_r, te.y_c)
+        random_score = np.mean(
+            [repro.aucc(rng.random(te.n), te.t, te.y_r, te.y_c) for _ in range(5)]
+        )
+        assert drp_score > random_score
+
+    def test_rdrp_at_least_as_good_as_drp_on_calibration(self, criteo_suno, fitted_models):
+        """The form selector guarantees no regression on its own data."""
+        data, rdrp = criteo_suno, fitted_models
+        ca = data.calibration
+        froi = rdrp.predict_roi(ca.x)
+        roi_hat = rdrp.drp.predict_roi(ca.x)
+        a_rdrp = repro.aucc(froi, ca.t, ca.y_r, ca.y_c)
+        a_drp = repro.aucc(roi_hat, ca.t, ca.y_r, ca.y_c)
+        # allow MC-draw wiggle: the guarantee is approximate across draws
+        assert a_rdrp >= a_drp - 0.1
+
+    def test_tpm_pipeline_end_to_end(self, criteo_suno):
+        data = criteo_suno
+        tr, te = data.train, data.test
+        tpm = repro.make_tpm("SL", random_state=0, fast=True)
+        tpm.fit(tr.x, tr.y_r, tr.y_c, tr.t)
+        roi = tpm.predict_roi(te.x)
+        assert np.all(np.isfinite(roi))
+        score = repro.aucc(roi, te.t, te.y_r, te.y_c)
+        assert 0.0 <= score <= 1.0
+
+
+class TestAllocationIntegration:
+    def test_rdrp_scores_feed_greedy_allocator(self, criteo_suno, fitted_models):
+        data, rdrp = criteo_suno, fitted_models
+        te = data.test
+        froi = rdrp.predict_roi(te.x)
+        budget = 0.3 * float(np.sum(te.tau_c))
+        result = repro.greedy_allocation(froi, te.tau_c, budget, rewards=te.tau_r)
+        assert result.total_cost <= budget + 1e-9
+        assert 0 < result.n_selected < te.n
+
+    def test_model_allocation_beats_random_allocation(self, criteo_suno, fitted_models):
+        data, rdrp = criteo_suno, fitted_models
+        te = data.test
+        froi = rdrp.predict_roi(te.x)
+        budget = 0.3 * float(np.sum(te.tau_c))
+        rng = np.random.default_rng(0)
+        model_alloc = repro.greedy_allocation(froi, te.tau_c, budget, rewards=te.tau_r)
+        random_alloc = repro.greedy_allocation(
+            rng.random(te.n), te.tau_c, budget, rewards=te.tau_r
+        )
+        assert model_alloc.total_reward > random_alloc.total_reward
+
+
+class TestABIntegration:
+    def test_three_arm_experiment(self, fitted_models):
+        rdrp = fitted_models
+        platform = repro.Platform(dataset="criteo", random_state=3)
+        policies = {
+            "DRP": rdrp.drp.predict_roi,
+            "rDRP": rdrp.predict_roi,
+        }
+        ab = repro.ABTest(platform, policies, budget_fraction=0.3, random_state=0)
+        result = ab.run(n_days=2, cohort_size=900)
+        uplift = result.uplift_vs_random
+        assert set(uplift) == {"DRP", "rDRP"}
+        assert all(len(series) == 2 for series in uplift.values())
+
+
+class TestConformalIntegration:
+    def test_intervals_nontrivial(self, criteo_suno, fitted_models):
+        data, rdrp = criteo_suno, fitted_models
+        lower, upper = rdrp.predict_interval(data.test.x)
+        width = upper - lower
+        assert np.all(width >= 0)
+        assert width.mean() > 0

@@ -1,0 +1,117 @@
+"""Tests for repro.linear (ridge + logistic regression)."""
+
+import numpy as np
+import pytest
+
+from repro.linear import LogisticRegression, RidgeRegression
+
+
+class TestRidge:
+    def test_recovers_linear_coefficients(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(500, 3))
+        w = np.array([1.5, -2.0, 0.5])
+        y = x @ w + 3.0
+        model = RidgeRegression(alpha=1e-8).fit(x, y)
+        np.testing.assert_allclose(model.coef_, w, atol=1e-6)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-6)
+
+    def test_alpha_shrinks_coefficients(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3))
+        y = x @ np.array([2.0, 0.0, 0.0]) + rng.normal(size=100)
+        small = RidgeRegression(alpha=1e-6).fit(x, y)
+        large = RidgeRegression(alpha=1e4).fit(x, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_intercept_not_penalised(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 2))
+        y = np.full(200, 10.0) + 0.01 * rng.normal(size=200)
+        model = RidgeRegression(alpha=1e6).fit(x, y)
+        assert model.intercept_ == pytest.approx(10.0, abs=0.1)
+
+    def test_no_intercept(self):
+        x = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = RidgeRegression(alpha=1e-10, fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_sample_weight(self):
+        # two populations; weights select the first
+        x = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0.0, 0.0, 1.0, 5.0])
+        w = np.array([1.0, 1.0, 1.0, 0.0])  # ignore the y=5 outlier
+        model = RidgeRegression(alpha=1e-10).fit(x, y, sample_weight=w)
+        pred = model.predict([[1.0]])
+        assert pred[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="sample_weight"):
+            RidgeRegression().fit([[1.0]], [1.0], sample_weight=[-1.0])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RidgeRegression().predict([[1.0]])
+
+    def test_feature_mismatch(self):
+        model = RidgeRegression().fit(np.ones((10, 3)), np.ones(10))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((2, 2)))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestLogistic:
+    def test_learns_separating_direction(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(800, 2))
+        logits = 2.0 * x[:, 0] - 1.0 * x[:, 1]
+        y = (rng.random(800) < 1 / (1 + np.exp(-logits))).astype(int)
+        model = LogisticRegression(alpha=1e-4).fit(x, y)
+        assert model.coef_[0] > 0.5
+        assert model.coef_[1] < -0.2
+        # coefficient ratio approximately recovered
+        assert model.coef_[0] / -model.coef_[1] == pytest.approx(2.0, rel=0.5)
+
+    def test_probabilities_calibrated_on_constant(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2000, 2)) * 0.01  # nearly uninformative
+        y = (rng.random(2000) < 0.3).astype(int)
+        model = LogisticRegression().fit(x, y)
+        p = model.predict_proba(x)
+        assert p.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_predict_threshold(self):
+        x = np.array([[-5.0], [5.0]])
+        y = np.array([0, 1])
+        model = LogisticRegression(alpha=1e-6).fit(
+            np.vstack([x] * 20), np.tile(y, 20)
+        )
+        np.testing.assert_array_equal(model.predict(x), [0, 1])
+
+    def test_separable_data_converges_with_penalty(self):
+        x = np.vstack([np.full((20, 1), -1.0), np.full((20, 1), 1.0)])
+        y = np.array([0] * 20 + [1] * 20)
+        model = LogisticRegression(alpha=1.0, max_iter=200).fit(x, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticRegression().predict_proba([[1.0]])
+
+    def test_nonbinary_target_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit([[1.0], [2.0]], [1, 2])
+
+    def test_feature_mismatch(self):
+        model = LogisticRegression().fit(np.ones((20, 2)), [0, 1] * 10)
+        with pytest.raises(ValueError, match="features"):
+            model.predict_proba(np.ones((2, 3)))
+
+    def test_n_iter_recorded(self):
+        model = LogisticRegression().fit(np.random.default_rng(0).normal(size=(50, 2)), [0, 1] * 25)
+        assert model.n_iter_ >= 1

@@ -1,0 +1,102 @@
+"""Tests for the AUCC metric (the paper's evaluation metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import criteo_uplift_v2
+from repro.metrics.aucc import aucc, cost_curve
+
+
+@pytest.fixture(scope="module")
+def big_rct():
+    return criteo_uplift_v2(30000, random_state=0)
+
+
+class TestCostCurve:
+    def test_endpoints(self, big_rct):
+        d = big_rct
+        curve = cost_curve(d.roi, d.t, d.y_r, d.y_c)
+        assert curve.cost[0] == 0.0
+        assert curve.reward[0] == 0.0
+        assert curve.cost[-1] == pytest.approx(1.0)
+        assert curve.reward[-1] == pytest.approx(1.0)
+
+    def test_axes_in_unit_square(self, big_rct):
+        d = big_rct
+        rng = np.random.default_rng(0)
+        curve = cost_curve(rng.random(d.n), d.t, d.y_r, d.y_c)
+        assert np.all((curve.cost >= 0) & (curve.cost <= 1))
+        assert np.all((curve.reward >= 0) & (curve.reward <= 1))
+
+    def test_x_monotone(self, big_rct):
+        d = big_rct
+        curve = cost_curve(d.roi, d.t, d.y_r, d.y_c)
+        assert np.all(np.diff(curve.cost) >= 0)
+
+    def test_n_points_validation(self, big_rct):
+        d = big_rct
+        with pytest.raises(ValueError, match="n_points"):
+            cost_curve(d.roi, d.t, d.y_r, d.y_c, n_points=1)
+
+    def test_single_arm_rejected(self):
+        with pytest.raises(ValueError, match="treated and control"):
+            cost_curve(np.ones(10), np.ones(10, dtype=int), np.ones(10), np.ones(10))
+
+
+class TestAucc:
+    def test_oracle_beats_random(self, big_rct):
+        d = big_rct
+        rng = np.random.default_rng(1)
+        oracle = aucc(d.roi, d.t, d.y_r, d.y_c)
+        random_scores = [aucc(rng.random(d.n), d.t, d.y_r, d.y_c) for _ in range(5)]
+        assert oracle > np.mean(random_scores) + 0.05
+
+    def test_random_near_half(self, big_rct):
+        d = big_rct
+        rng = np.random.default_rng(2)
+        scores = [aucc(rng.random(d.n), d.t, d.y_r, d.y_c) for _ in range(8)]
+        assert np.mean(scores) == pytest.approx(0.5, abs=0.07)
+
+    def test_anti_oracle_below_random(self, big_rct):
+        d = big_rct
+        anti = aucc(-d.roi, d.t, d.y_r, d.y_c)
+        oracle = aucc(d.roi, d.t, d.y_r, d.y_c)
+        assert anti < oracle - 0.1
+
+    def test_only_ordering_matters(self, big_rct):
+        d = big_rct
+        base = aucc(d.roi, d.t, d.y_r, d.y_c)
+        # any strictly monotone transform preserves the ranking
+        transformed = aucc(np.exp(3.0 * d.roi), d.t, d.y_r, d.y_c)
+        assert transformed == pytest.approx(base, abs=1e-12)
+
+    def test_bounded_in_unit_interval(self, big_rct):
+        d = big_rct
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            score = aucc(rng.random(d.n), d.t, d.y_r, d.y_c)
+            assert 0.0 <= score <= 1.0
+
+    def test_degenerate_no_effect_population(self):
+        """Zero average effect: flat normalisation -> neutral 0.5."""
+        rng = np.random.default_rng(4)
+        n = 4000
+        t = rng.integers(0, 2, size=n)
+        y = (rng.random(n) < 0.3).astype(float)  # outcome independent of t
+        score = aucc(rng.random(n), t, y, y.copy())
+        assert score == pytest.approx(0.5, abs=0.25)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_never_nan(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 400
+        t = rng.integers(0, 2, size=n)
+        t[0] = 1
+        t[1] = 0
+        y_r = (rng.random(n) < 0.3).astype(float)
+        y_c = (rng.random(n) < 0.5).astype(float)
+        score = aucc(rng.random(n), t, y_r, y_c)
+        assert np.isfinite(score)

@@ -1,0 +1,71 @@
+"""Tests for qini/uplift diagnostics and interval statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.coverage import interval_statistics
+from repro.metrics.uplift_curves import qini_coefficient, qini_curve, uplift_at_k
+
+
+def single_outcome_rct(n=8000, seed=0):
+    rng = np.random.default_rng(seed)
+    x_score = rng.random(n)  # true uplift ranking score
+    t = rng.integers(0, 2, size=n)
+    p = 0.2 + 0.4 * x_score * t
+    y = (rng.random(n) < p).astype(float)
+    return x_score, t, y
+
+
+class TestQini:
+    def test_oracle_positive_coefficient(self):
+        score, t, y = single_outcome_rct()
+        assert qini_coefficient(score, t, y) > 0
+
+    def test_random_near_zero(self):
+        score, t, y = single_outcome_rct()
+        rng = np.random.default_rng(1)
+        values = [qini_coefficient(rng.random(len(t)), t, y) for _ in range(5)]
+        assert abs(np.mean(values)) < 0.05 * len(t)
+
+    def test_anti_oracle_negative(self):
+        score, t, y = single_outcome_rct()
+        assert qini_coefficient(-score, t, y) < 0
+
+    def test_curve_shapes(self):
+        score, t, y = single_outcome_rct(n=2000)
+        fractions, qini = qini_curve(score, t, y, n_points=50)
+        assert fractions.shape == qini.shape
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestUpliftAtK:
+    def test_top_fraction_has_higher_uplift(self):
+        score, t, y = single_outcome_rct()
+        top = uplift_at_k(score, t, y, k=0.2)
+        bottom = uplift_at_k(-score, t, y, k=0.2)
+        assert top > bottom
+
+    def test_k_validation(self):
+        score, t, y = single_outcome_rct(n=500)
+        with pytest.raises(ValueError, match="k must be"):
+            uplift_at_k(score, t, y, k=0.0)
+
+    def test_full_population_equals_ate(self):
+        score, t, y = single_outcome_rct(n=3000)
+        full = uplift_at_k(score, t, y, k=1.0)
+        ate = y[t == 1].mean() - y[t == 0].mean()
+        assert full == pytest.approx(ate)
+
+
+class TestIntervalStatistics:
+    def test_basic(self):
+        stats = interval_statistics(
+            np.array([0.5, 0.9]), np.array([0.4, 0.4]), np.array([0.6, 0.6])
+        )
+        assert stats.coverage == 0.5
+        assert stats.mean_width == pytest.approx(0.2)
+        assert stats.median_width == pytest.approx(0.2)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError, match="upper < lower"):
+            interval_statistics(np.array([0.5]), np.array([1.0]), np.array([0.0]))

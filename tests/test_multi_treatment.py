@@ -1,0 +1,169 @@
+"""Tests for the §VI Divide-and-Conquer multiple-treatment extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_treatment import DivideAndConquerRDRP
+from repro.data.multi import MultiTreatmentRCT, multi_treatment_rct
+
+
+@pytest.fixture(scope="module")
+def multi_data():
+    return multi_treatment_rct(n=6000, n_levels=3, d=6, random_state=0)
+
+
+class TestGenerator:
+    def test_shapes(self, multi_data):
+        data = multi_data
+        assert data.n == 6000
+        assert data.n_levels == 3
+        assert data.tau_r.shape == (6000, 3)
+        assert data.roi.shape == (6000, 3)
+
+    def test_levels_uniformly_assigned(self, multi_data):
+        counts = np.bincount(multi_data.t, minlength=4)
+        assert counts.min() > 0.8 * 6000 / 4
+
+    def test_costs_increase_with_level(self, multi_data):
+        data = multi_data
+        assert np.all(data.tau_c[:, 1] > data.tau_c[:, 0])
+        assert np.all(data.tau_c[:, 2] > data.tau_c[:, 1])
+
+    def test_roi_diminishes_with_level(self, multi_data):
+        """Concave dose response: higher levels return less per unit."""
+        data = multi_data
+        assert np.all(data.roi[:, 1] <= data.roi[:, 0] + 1e-12)
+        assert np.all(data.roi[:, 2] <= data.roi[:, 1] + 1e-12)
+
+    def test_positive_effects_every_level(self, multi_data):
+        assert np.all(multi_data.tau_r > 0)
+        assert np.all(multi_data.tau_c > 0)
+
+    def test_binary_view_relabels(self, multi_data):
+        view = multi_data.binary_view(2)
+        assert set(np.unique(view.t)) == {0, 1}
+        # ground truth columns match the requested level
+        member_mask = (multi_data.t == 0) | (multi_data.t == 2)
+        np.testing.assert_allclose(view.roi, multi_data.roi[member_mask, 1])
+
+    def test_binary_view_bad_level(self, multi_data):
+        with pytest.raises(ValueError, match="level"):
+            multi_data.binary_view(0)
+        with pytest.raises(ValueError, match="level"):
+            multi_data.binary_view(4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            multi_treatment_rct(n=1000, n_levels=0)
+        with pytest.raises(ValueError, match="too small"):
+            multi_treatment_rct(n=20, n_levels=3)
+
+
+class TestDivideAndConquer:
+    @pytest.fixture(scope="class")
+    def fitted(self, multi_data):
+        split = multi_data.n * 2 // 3
+        train = MultiTreatmentRCT(
+            x=multi_data.x[:split],
+            t=multi_data.t[:split],
+            y_r=multi_data.y_r[:split],
+            y_c=multi_data.y_c[:split],
+            tau_r=multi_data.tau_r[:split],
+            tau_c=multi_data.tau_c[:split],
+            roi=multi_data.roi[:split],
+        )
+        calib = MultiTreatmentRCT(
+            x=multi_data.x[split:],
+            t=multi_data.t[split:],
+            y_r=multi_data.y_r[split:],
+            y_c=multi_data.y_c[split:],
+            tau_r=multi_data.tau_r[split:],
+            tau_c=multi_data.tau_c[split:],
+            roi=multi_data.roi[split:],
+        )
+        model = DivideAndConquerRDRP(
+            n_levels=3, random_state=0, hidden=16, epochs=20, mc_samples=6, n_restarts=1
+        )
+        model.fit(train)
+        model.calibrate(calib)
+        return model
+
+    def test_predict_roi_matrix(self, fitted, multi_data):
+        roi = fitted.predict_roi(multi_data.x[:100])
+        assert roi.shape == (100, 3)
+        assert np.all(np.isfinite(roi))
+
+    def test_one_model_per_level(self, fitted):
+        assert len(fitted.models) == 3
+        forms = {m.selected_form for m in fitted.models}
+        assert forms <= {"5a", "5b", "5c", "identity"}
+
+    def test_allocation_respects_budget_and_uniqueness(self, fitted, multi_data):
+        x = multi_data.x[:500]
+        costs = multi_data.tau_c[:500]
+        budget = 0.2 * float(costs[:, 0].sum())
+        result = fitted.allocate(x, costs, budget)
+        assert result.total_cost <= budget + 1e-9
+        assert result.assignment.shape == (500,)
+        assert set(np.unique(result.assignment)) <= {0, 1, 2, 3}
+        assert result.n_treated == int(np.sum(result.assignment > 0))
+
+    def test_allocation_beats_random_assignment(self, fitted, multi_data):
+        x = multi_data.x[:1500]
+        costs = multi_data.tau_c[:1500]
+        rewards = multi_data.tau_r[:1500]
+        budget = 0.15 * float(costs[:, 0].sum())
+
+        result = fitted.allocate(x, costs, budget)
+        model_reward = _realised_reward(result.assignment, rewards)
+
+        rng = np.random.default_rng(0)
+        random_rewards = []
+        for _ in range(5):
+            assignment = _random_assignment(costs, budget, rng)
+            random_rewards.append(_realised_reward(assignment, rewards))
+        assert model_reward > np.mean(random_rewards)
+
+    def test_guards(self, multi_data):
+        model = DivideAndConquerRDRP(n_levels=3, hidden=16, epochs=2, n_restarts=1)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.calibrate(multi_data)
+        with pytest.raises(RuntimeError, match="not calibrated"):
+            model.predict_roi(multi_data.x[:10])
+
+    def test_level_count_mismatch(self, multi_data):
+        model = DivideAndConquerRDRP(n_levels=2, hidden=16, epochs=2, n_restarts=1)
+        with pytest.raises(ValueError, match="levels"):
+            model.fit(multi_data)
+
+    def test_allocation_validation(self, fitted, multi_data):
+        x = multi_data.x[:20]
+        good = multi_data.tau_c[:20]
+        with pytest.raises(ValueError, match="shape"):
+            fitted.allocate(x, good[:, :2], budget=1.0)
+        with pytest.raises(ValueError, match="positive"):
+            fitted.allocate(x, good * 0.0, budget=1.0)
+        with pytest.raises(ValueError, match="budget"):
+            fitted.allocate(x, good, budget=-1.0)
+
+    def test_invalid_n_levels(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            DivideAndConquerRDRP(n_levels=0)
+
+
+def _realised_reward(assignment: np.ndarray, rewards: np.ndarray) -> float:
+    treated = assignment > 0
+    return float(np.sum(rewards[np.nonzero(treated)[0], assignment[treated] - 1]))
+
+
+def _random_assignment(costs: np.ndarray, budget: float, rng) -> np.ndarray:
+    n, k = costs.shape
+    assignment = np.zeros(n, dtype=np.int64)
+    remaining = budget
+    for user in rng.permutation(n):
+        level = int(rng.integers(0, k))
+        cost = float(costs[user, level])
+        if cost <= remaining:
+            assignment[user] = level + 1
+            remaining -= cost
+    return assignment

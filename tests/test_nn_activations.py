@@ -1,0 +1,139 @@
+"""Tests for repro.nn.activations, including numerical-stability properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import (
+    elu,
+    elu_grad,
+    identity,
+    log_sigmoid,
+    relu,
+    relu_grad,
+    sigmoid,
+    sigmoid_grad,
+    softmax,
+    softplus,
+    tanh,
+    tanh_grad,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        assert sigmoid(np.array(1.0)) == pytest.approx(1 / (1 + np.exp(-1)))
+
+    def test_extreme_positive_no_overflow(self):
+        assert sigmoid(np.array(1000.0)) == pytest.approx(1.0)
+
+    def test_extreme_negative_no_overflow(self):
+        assert sigmoid(np.array(-1000.0)) == pytest.approx(0.0)
+
+    @given(finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_in_unit_interval(self, x):
+        v = float(sigmoid(np.array(x)))
+        assert 0.0 <= v <= 1.0
+
+    @given(finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, x):
+        a = float(sigmoid(np.array(x)))
+        b = float(sigmoid(np.array(-x)))
+        assert a + b == pytest.approx(1.0, abs=1e-12)
+
+    def test_gradient_matches_finite_difference(self):
+        xs = np.linspace(-4, 4, 17)
+        eps = 1e-6
+        numeric = (sigmoid(xs + eps) - sigmoid(xs - eps)) / (2 * eps)
+        np.testing.assert_allclose(sigmoid_grad(xs), numeric, atol=1e-7)
+
+
+class TestSoftplus:
+    def test_at_zero(self):
+        assert softplus(np.array(0.0)) == pytest.approx(np.log(2.0))
+
+    def test_large_positive_is_linear(self):
+        assert softplus(np.array(800.0)) == pytest.approx(800.0)
+
+    def test_large_negative_is_zero(self):
+        assert softplus(np.array(-800.0)) == pytest.approx(0.0, abs=1e-12)
+
+    @given(finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_above_relu(self, x):
+        assert float(softplus(np.array(x))) >= max(x, 0.0) - 1e-9
+
+    @given(st.floats(min_value=-30, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_formula_in_safe_range(self, x):
+        assert float(softplus(np.array(x))) == pytest.approx(np.log1p(np.exp(x)), rel=1e-9)
+
+
+class TestLogSigmoid:
+    @given(finite_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_nonpositive(self, x):
+        assert float(log_sigmoid(np.array(x))) <= 1e-12
+
+    def test_identity_with_softplus(self):
+        xs = np.linspace(-20, 20, 9)
+        np.testing.assert_allclose(log_sigmoid(xs), -softplus(-xs))
+
+
+class TestReluElu:
+    def test_relu_values(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        np.testing.assert_array_equal(relu_grad(np.array([-1.0, 0.5])), [0.0, 1.0])
+
+    def test_elu_positive_is_identity(self):
+        np.testing.assert_allclose(elu(np.array([0.5, 2.0])), [0.5, 2.0])
+
+    def test_elu_negative_saturates(self):
+        assert float(elu(np.array(-100.0))) == pytest.approx(-1.0)
+
+    def test_elu_grad_continuous_at_zero(self):
+        assert float(elu_grad(np.array(1e-9))) == pytest.approx(1.0, abs=1e-6)
+        assert float(elu_grad(np.array(-1e-9))) == pytest.approx(1.0, abs=1e-6)
+
+    def test_elu_no_overflow_large_negative(self):
+        out = elu(np.array(-1e6))
+        assert np.isfinite(out)
+
+
+class TestTanhIdentity:
+    def test_tanh_grad(self):
+        xs = np.linspace(-3, 3, 7)
+        eps = 1e-6
+        numeric = (tanh(xs + eps) - tanh(xs - eps)) / (2 * eps)
+        np.testing.assert_allclose(tanh_grad(xs), numeric, atol=1e-7)
+
+    def test_identity(self):
+        x = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(identity(x), x)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        out = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_stability_large_values(self):
+        out = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(out))
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        x = np.array([0.1, 0.5, -0.3])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))

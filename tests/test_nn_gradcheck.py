@@ -1,0 +1,133 @@
+"""Finite-difference verification of every backward pass.
+
+These are the substrate's most important tests: all causal models rely
+on these gradients being exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_network_gradients, numeric_gradient
+from repro.nn.layers import Activation, Dense
+from repro.nn.losses import BinaryCrossEntropy, MeanSquaredError
+from repro.nn.network import Network, mlp
+
+
+def mse_loss(target):
+    loss = MeanSquaredError()
+
+    def f(pred):
+        return loss(pred, target)
+
+    return f
+
+
+class TestNumericGradient:
+    def test_quadratic(self):
+        x = np.array([1.0, -2.0])
+        grad = numeric_gradient(lambda v: float(np.sum(v**2)), x)
+        np.testing.assert_allclose(grad, 2 * x, atol=1e-5)
+
+    def test_matrix_argument(self):
+        x = np.ones((2, 2))
+        grad = numeric_gradient(lambda v: float(np.sum(v * v)), x)
+        np.testing.assert_allclose(grad, 2 * x, atol=1e-5)
+
+
+class TestNetworkGradients:
+    def test_single_dense_mse(self):
+        rng = np.random.default_rng(0)
+        net = Network([Dense(3, 2, rng=0)])
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+        dev = check_network_gradients(net, x, mse_loss(target))
+        assert dev < 1e-4
+
+    def test_two_layer_tanh(self):
+        rng = np.random.default_rng(1)
+        net = Network([Dense(4, 8, rng=1), Activation("tanh"), Dense(8, 1, rng=2)])
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 1))
+        dev = check_network_gradients(net, x, mse_loss(target))
+        assert dev < 1e-4
+
+    def test_elu_network(self):
+        rng = np.random.default_rng(2)
+        net = Network([Dense(3, 6, rng=3), Activation("elu"), Dense(6, 2, rng=4)])
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        check_network_gradients(net, x, mse_loss(target))
+
+    def test_sigmoid_head_bce(self):
+        rng = np.random.default_rng(3)
+        net = Network([Dense(3, 5, rng=5), Activation("tanh"), Dense(5, 1, rng=6)])
+        x = rng.normal(size=(8, 3))
+        target = rng.integers(0, 2, size=(8, 1)).astype(float)
+        bce = BinaryCrossEntropy()
+
+        def loss(pred):
+            return bce(pred, target)
+
+        dev = check_network_gradients(net, x, loss)
+        assert dev < 1e-4
+
+    def test_mlp_factory_gradients(self):
+        rng = np.random.default_rng(4)
+        net = mlp(4, [8], output_dim=1, activation="tanh", dropout=0.0, rng=7)
+        x = rng.normal(size=(5, 4))
+        target = rng.normal(size=(5, 1))
+        check_network_gradients(net, x, mse_loss(target))
+
+    def test_detects_corrupted_gradient(self):
+        rng = np.random.default_rng(5)
+        net = Network([Dense(2, 2, rng=8)])
+        x = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+
+        def broken_loss(pred):
+            value, grad = MeanSquaredError()(pred, target)
+            return value, grad * 1.5  # wrong scale
+
+        with pytest.raises(AssertionError, match="Gradient mismatch"):
+            check_network_gradients(net, x, broken_loss)
+
+
+class TestCausalLossGradients:
+    """The paper-specific losses checked against finite differences."""
+
+    def test_drp_loss_gradient(self):
+        from repro.core.drp import drp_loss, drp_loss_gradient
+
+        rng = np.random.default_rng(6)
+        n = 40
+        s = rng.normal(size=n)
+        t = rng.integers(0, 2, size=n)
+        t[:5] = 1
+        t[5:10] = 0  # guarantee both arms
+        y_r = rng.random(n)
+        y_c = rng.random(n) + 0.5
+
+        analytic = drp_loss_gradient(s, t, y_r, y_c)
+        numeric = numeric_gradient(lambda v: drp_loss(v, t, y_r, y_c), s.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_dr_loss_gradient(self):
+        from repro.core.direct_rank import dr_loss
+
+        rng = np.random.default_rng(7)
+        n = 30
+        s = rng.normal(size=n)
+        t = rng.integers(0, 2, size=n)
+        t[:5] = 1
+        t[5:10] = 0
+        y_r = rng.random(n)
+        y_c = rng.random(n) + 0.5
+
+        _, analytic = dr_loss(s, t, y_r, y_c)
+
+        def value_only(v):
+            val, _ = dr_loss(v, t, y_r, y_c)
+            return val
+
+        numeric = numeric_gradient(value_only, s.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)

@@ -1,0 +1,111 @@
+"""Tests for the generic supervised losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import sigmoid
+from repro.nn.gradcheck import numeric_gradient
+from repro.nn.losses import BinaryCrossEntropy, MeanSquaredError
+
+
+class TestMeanSquaredError:
+    def test_zero_at_perfect_fit(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0], [2.0]])
+        value, grad = loss(pred, pred.copy())
+        assert value == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(pred))
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        value, _ = loss(np.array([[2.0]]), np.array([[0.0]]))
+        assert value == pytest.approx(4.0)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(6, 2))
+        target = rng.normal(size=(6, 2))
+        loss = MeanSquaredError()
+        _, grad = loss(pred, target)
+        numeric = numeric_gradient(lambda p: loss(p, target)[0], pred.copy())
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_sample_weight_zero_removes_sample(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0], [100.0]])
+        target = np.array([[1.0], [0.0]])
+        value, grad = loss(pred, target, sample_weight=np.array([1.0, 0.0]))
+        assert value == 0.0
+        assert grad[1, 0] == 0.0
+
+    def test_weighted_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(size=(5, 1))
+        target = rng.normal(size=(5, 1))
+        weights = rng.random(5) + 0.1
+        loss = MeanSquaredError()
+        _, grad = loss(pred, target, sample_weight=weights)
+        numeric = numeric_gradient(
+            lambda p: loss(p, target, sample_weight=weights)[0], pred.copy()
+        )
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_zero_weights_rejected(self):
+        loss = MeanSquaredError()
+        with pytest.raises(ValueError, match="positive sum"):
+            loss(np.ones((2, 1)), np.ones((2, 1)), sample_weight=np.zeros(2))
+
+
+class TestBinaryCrossEntropy:
+    def test_confident_correct_is_near_zero(self):
+        loss = BinaryCrossEntropy()
+        value, _ = loss(np.array([[20.0]]), np.array([[1.0]]))
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_confident_wrong_is_large(self):
+        loss = BinaryCrossEntropy()
+        value, _ = loss(np.array([[20.0]]), np.array([[0.0]]))
+        assert value > 10.0
+
+    def test_stable_at_extreme_logits(self):
+        loss = BinaryCrossEntropy()
+        for z in (-1e4, 1e4):
+            value, grad = loss(np.array([[z]]), np.array([[1.0]]))
+            assert np.isfinite(value)
+            assert np.all(np.isfinite(grad))
+
+    def test_gradient_is_sigmoid_minus_target_over_n(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(8, 1))
+        target = rng.integers(0, 2, size=(8, 1)).astype(float)
+        _, grad = BinaryCrossEntropy()(logits, target)
+        np.testing.assert_allclose(grad, (sigmoid(logits) - target) / logits.size)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(5, 1))
+        target = rng.integers(0, 2, size=(5, 1)).astype(float)
+        loss = BinaryCrossEntropy()
+        _, grad = loss(logits, target)
+        numeric = numeric_gradient(lambda z: loss(z, target)[0], logits.copy())
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_soft_targets_accepted(self):
+        loss = BinaryCrossEntropy()
+        value, _ = loss(np.array([[0.0]]), np.array([[0.5]]))
+        assert value == pytest.approx(np.log(2.0))
+
+    def test_out_of_range_target_rejected(self):
+        loss = BinaryCrossEntropy()
+        with pytest.raises(ValueError, match="lie in"):
+            loss(np.array([[0.0]]), np.array([[1.5]]))
+
+    @given(st.floats(min_value=-20, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative(self, logit):
+        loss = BinaryCrossEntropy()
+        for target in (0.0, 1.0):
+            value, _ = loss(np.array([[logit]]), np.array([[target]]))
+            assert value >= -1e-12

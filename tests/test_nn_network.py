@@ -1,0 +1,157 @@
+"""Tests for repro.nn.network (Sequential container + training loop)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Activation, Dense, Dropout
+from repro.nn.losses import MeanSquaredError
+from repro.nn.network import Network, mlp
+from repro.nn.optimizers import Adam
+
+
+def make_regression(n=500, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = x @ w + 0.1 * rng.normal(size=n)
+    return x, y.reshape(-1, 1)
+
+
+def mse_adapter(pred, target):
+    return MeanSquaredError()(pred, target)
+
+
+class TestForwardBackward:
+    def test_forward_1d_input_reshaped(self):
+        net = Network([Dense(1, 1, rng=0)])
+        out = net.forward(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3, 1)
+
+    def test_parameters_counts(self):
+        net = mlp(4, [8, 8], output_dim=2, rng=0)
+        # (4*8+8) + (8*8+8) + (8*2+2) = 40+72+18
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2
+
+    def test_get_set_weights_roundtrip(self):
+        net = mlp(3, [5], rng=0)
+        weights = net.get_weights()
+        x = np.ones((2, 3))
+        before = net.predict(x)
+        for p in net.parameters():
+            p += 1.0
+        assert not np.allclose(net.predict(x), before)
+        net.set_weights(weights)
+        np.testing.assert_allclose(net.predict(x), before)
+
+    def test_set_weights_shape_mismatch(self):
+        net = mlp(3, [5], rng=0)
+        bad = [np.zeros((1, 1))] * len(net.parameters())
+        with pytest.raises(ValueError, match="Shape mismatch"):
+            net.set_weights(bad)
+
+    def test_set_weights_count_mismatch(self):
+        net = mlp(3, [5], rng=0)
+        with pytest.raises(ValueError, match="weight arrays"):
+            net.set_weights([np.zeros((3, 5))])
+
+    def test_forward_stochastic_varies_with_dropout(self):
+        net = mlp(3, [16], dropout=0.5, rng=0)
+        x = np.ones((4, 3))
+        a = net.forward_stochastic(x)
+        b = net.forward_stochastic(x)
+        assert not np.allclose(a, b)
+
+    def test_forward_stochastic_deterministic_without_dropout(self):
+        net = mlp(3, [16], dropout=0.0, rng=0)
+        x = np.ones((4, 3))
+        np.testing.assert_allclose(net.forward_stochastic(x), net.forward_stochastic(x))
+
+
+class TestFit:
+    def test_loss_decreases_on_regression(self):
+        x, y = make_regression()
+        net = mlp(4, [16], activation="tanh", rng=0)
+        history = net.fit(x, y, loss=mse_adapter, optimizer=Adam(3e-3), epochs=40, rng=0)
+        assert history.train_loss[-1] < history.train_loss[0] * 0.5
+
+    def test_learns_linear_function_well(self):
+        x, y = make_regression(n=800)
+        net = mlp(4, [16], activation="tanh", rng=0)
+        net.fit(x, y, loss=mse_adapter, optimizer=Adam(3e-3), epochs=60, rng=0)
+        pred = net.predict(x)
+        residual_var = float(np.var(pred - y))
+        assert residual_var < 0.25 * float(np.var(y))
+
+    def test_early_stopping_restores_best(self):
+        x, y = make_regression(n=300)
+        x_val, y_val = make_regression(n=100, seed=1)
+        net = mlp(4, [8], activation="tanh", rng=0)
+        history = net.fit(
+            x,
+            y,
+            loss=mse_adapter,
+            epochs=100,
+            rng=0,
+            validation_data=(x_val, y_val),
+            patience=5,
+        )
+        assert history.best_epoch is not None
+        if history.stopped_epoch is not None:
+            assert history.stopped_epoch >= history.best_epoch
+
+    def test_dict_target_sliced_per_batch(self):
+        x, y = make_regression(n=128)
+
+        def dict_loss(pred, batch):
+            return MeanSquaredError()(pred, batch["y"])
+
+        net = mlp(4, [8], rng=0)
+        history = net.fit(x, {"y": y}, loss=dict_loss, epochs=3, batch_size=32, rng=0)
+        assert history.n_epochs == 3
+
+    def test_invalid_epochs(self):
+        net = mlp(2, [4], rng=0)
+        with pytest.raises(ValueError, match="epochs"):
+            net.fit(np.ones((4, 2)), np.ones((4, 1)), loss=mse_adapter, epochs=0)
+
+    def test_invalid_batch_size(self):
+        net = mlp(2, [4], rng=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            net.fit(np.ones((4, 2)), np.ones((4, 1)), loss=mse_adapter, batch_size=0)
+
+    def test_gradient_clipping_keeps_training_stable(self):
+        x, y = make_regression(n=200)
+        y = y * 1000.0  # huge targets -> huge gradients
+        net = mlp(4, [8], rng=0)
+        history = net.fit(x, y, loss=mse_adapter, epochs=5, clip_norm=1.0, rng=0)
+        assert np.all(np.isfinite(history.train_loss))
+        assert all(np.all(np.isfinite(p)) for p in net.parameters())
+
+    def test_reproducible_with_seed(self):
+        x, y = make_regression(n=200)
+        net_a = mlp(4, [8], rng=3)
+        net_a.fit(x, y, loss=mse_adapter, epochs=5, rng=11)
+        net_b = mlp(4, [8], rng=3)
+        net_b.fit(x, y, loss=mse_adapter, epochs=5, rng=11)
+        np.testing.assert_allclose(net_a.predict(x), net_b.predict(x))
+
+
+class TestMlpFactory:
+    def test_structure_with_dropout(self):
+        net = mlp(4, [8], dropout=0.2, rng=0)
+        kinds = [type(layer).__name__ for layer in net.layers]
+        assert kinds == ["Dense", "Activation", "Dropout", "Dense"]
+
+    def test_output_activation(self):
+        net = mlp(4, [8], output_activation="sigmoid", rng=0)
+        out = net.predict(np.random.default_rng(0).normal(size=(10, 4)))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_invalid_input_dim(self):
+        with pytest.raises(ValueError, match="input_dim"):
+            mlp(0, [4])
+
+    def test_no_hidden_layers(self):
+        net = mlp(3, [], output_dim=2, rng=0)
+        assert len(net.layers) == 1
+        assert net.predict(np.ones((2, 3))).shape == (2, 2)

@@ -1,0 +1,130 @@
+"""Public-API contract tests: exports resolve, are documented, and cohere."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.ab",
+    "repro.causal",
+    "repro.causal.meta",
+    "repro.causal.neural",
+    "repro.core",
+    "repro.data",
+    "repro.linear",
+    "repro.metrics",
+    "repro.nn",
+    "repro.trees",
+    "repro.utils",
+)
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_headline_api_present(self):
+        for name in (
+            "RobustDRP",
+            "DRPModel",
+            "DirectRank",
+            "TwoPhaseMethod",
+            "make_setting",
+            "aucc",
+            "greedy_allocation",
+            "ABTest",
+            "Platform",
+        ):
+            assert hasattr(repro, name)
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            repro.RobustDRP,
+            repro.DRPModel,
+            repro.DirectRank,
+            repro.TwoPhaseMethod,
+            repro.TARNet,
+            repro.DragonNet,
+            repro.OffsetNet,
+            repro.SNet,
+            repro.SLearner,
+            repro.TLearner,
+            repro.XLearner,
+            repro.CausalForestUplift,
+            repro.ConformalCalibrator,
+            repro.HeuristicCalibration,
+            repro.RoiStarEstimator,
+            repro.IsotonicRoiRecalibration,
+            repro.RCTDataset,
+            repro.Platform,
+            repro.ABTest,
+        ],
+    )
+    def test_public_classes_documented(self, obj):
+        assert inspect.getdoc(obj), f"{obj.__name__} lacks a docstring"
+
+    @pytest.mark.parametrize(
+        "func",
+        [
+            repro.aucc,
+            repro.cost_curve,
+            repro.qini_coefficient,
+            repro.greedy_allocation,
+            repro.greedy_allocation_by_roi,
+            repro.binary_search_roi_star,
+            repro.make_setting,
+            repro.criteo_uplift_v2,
+            repro.meituan_lift,
+            repro.alibaba_lift,
+            repro.exponential_tilt_shift,
+            repro.make_tpm,
+        ],
+    )
+    def test_public_functions_documented(self, func):
+        assert inspect.getdoc(func), f"{func.__name__} lacks a docstring"
+
+
+class TestUpliftModelInterface:
+    """Every zoo member implements the UpliftModel contract."""
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            repro.SLearner,
+            repro.TLearner,
+            repro.XLearner,
+            repro.CausalForestUplift,
+            repro.TARNet,
+            repro.DragonNet,
+            repro.OffsetNet,
+            repro.SNet,
+        ],
+    )
+    def test_is_uplift_model(self, cls):
+        from repro.causal.base import UpliftModel
+
+        assert issubclass(cls, UpliftModel)
+        assert callable(getattr(cls, "fit"))
+        assert callable(getattr(cls, "predict_uplift"))

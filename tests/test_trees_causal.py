@@ -1,0 +1,129 @@
+"""Tests for repro.trees.causal_tree and causal_forest."""
+
+import numpy as np
+import pytest
+
+from repro.trees.causal_forest import CausalForest
+from repro.trees.causal_tree import CausalTree, best_effect_split
+
+
+def heterogeneous_rct(n=2000, seed=0):
+    """tau = 2 where x0 > 0 else 0.5; outcome = tau*t + noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    t = rng.integers(0, 2, size=n)
+    tau = np.where(x[:, 0] > 0, 2.0, 0.5)
+    y = tau * t + 0.3 * rng.normal(size=n)
+    return x, y, t, tau
+
+
+class TestBestEffectSplit:
+    def test_finds_effect_boundary(self):
+        x, y, t, _ = heterogeneous_rct()
+        thr, score = best_effect_split(x[:, 0], y, t, 10, 10)
+        assert score > -np.inf
+        assert abs(thr) < 0.15  # the true boundary is at 0
+
+    def test_respects_arm_minimums(self):
+        x = np.arange(20.0)
+        t = np.array([1] * 10 + [0] * 10)
+        y = np.random.default_rng(0).normal(size=20)
+        _, score = best_effect_split(x, y, t, min_treated_leaf=8, min_control_leaf=8)
+        # no split can keep 8 treated AND 8 control on both sides of 20 points
+        assert score == -np.inf
+
+    def test_constant_feature_no_split(self):
+        _, score = best_effect_split(
+            np.ones(40),
+            np.random.default_rng(0).normal(size=40),
+            np.array([0, 1] * 20),
+            1,
+            1,
+        )
+        assert score == -np.inf
+
+
+class TestCausalTree:
+    def test_recovers_piecewise_effect(self):
+        x, y, t, tau = heterogeneous_rct()
+        tree = CausalTree(max_depth=3, random_state=0).fit(x, y, t)
+        pred = tree.predict(x)
+        # group means should straddle the two true effect levels
+        high = pred[x[:, 0] > 0.2].mean()
+        low = pred[x[:, 0] < -0.2].mean()
+        assert high == pytest.approx(2.0, abs=0.4)
+        assert low == pytest.approx(0.5, abs=0.4)
+
+    def test_honest_and_adaptive_both_work(self):
+        x, y, t, _ = heterogeneous_rct(n=1200)
+        for honest in (True, False):
+            tree = CausalTree(max_depth=2, honest=honest, random_state=0).fit(x, y, t)
+            assert np.isfinite(tree.predict(x)).all()
+
+    def test_depth_zero_gives_ate(self):
+        x, y, t, _ = heterogeneous_rct(n=800)
+        tree = CausalTree(max_depth=0, honest=False, random_state=0).fit(x, y, t)
+        ate = y[t == 1].mean() - y[t == 0].mean()
+        np.testing.assert_allclose(tree.predict(x), np.full(800, ate), atol=1e-9)
+
+    def test_requires_both_arms(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.random.default_rng(1).normal(size=50)
+        with pytest.raises(ValueError):
+            CausalTree().fit(x, y, np.ones(50, dtype=int))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CausalTree().predict(np.ones((1, 2)))
+
+    def test_feature_mismatch(self):
+        x, y, t, _ = heterogeneous_rct(n=400)
+        tree = CausalTree(max_depth=1, random_state=0).fit(x, y, t)
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.ones((1, 5)))
+
+    def test_invalid_leaf_minimums(self):
+        with pytest.raises(ValueError):
+            CausalTree(min_treated_leaf=0)
+
+
+class TestCausalForest:
+    def test_better_than_single_tree_out_of_sample(self):
+        # high outcome noise: the ensemble's variance reduction dominates
+        def noisy(seed):
+            rng = np.random.default_rng(seed)
+            n = 2000
+            x = rng.uniform(-1, 1, size=(n, 3))
+            t = rng.integers(0, 2, size=n)
+            tau = np.where(x[:, 0] > 0, 2.0, 0.5)
+            y = tau * t + 1.5 * rng.normal(size=n)
+            return x, y, t, tau
+
+        x, y, t, tau = noisy(0)
+        x_te, _, _, tau_te = noisy(1)
+        tree = CausalTree(max_depth=4, random_state=0).fit(x, y, t)
+        forest = CausalForest(n_estimators=30, max_depth=4, random_state=0).fit(x, y, t)
+        mse_tree = float(np.mean((tree.predict(x_te) - tau_te) ** 2))
+        mse_forest = float(np.mean((forest.predict(x_te) - tau_te) ** 2))
+        assert mse_forest <= mse_tree * 1.1  # at least comparable, usually better
+
+    def test_variance_estimate(self):
+        x, y, t, _ = heterogeneous_rct(n=1000)
+        forest = CausalForest(n_estimators=10, random_state=0).fit(x, y, t)
+        var = forest.predict_var(x[:50])
+        assert var.shape == (50,)
+        assert np.all(var >= 0)
+
+    def test_reproducible(self):
+        x, y, t, _ = heterogeneous_rct(n=600)
+        a = CausalForest(n_estimators=5, random_state=3).fit(x, y, t).predict(x)
+        b = CausalForest(n_estimators=5, random_state=3).fit(x, y, t).predict(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CausalForest().predict(np.ones((1, 2)))
+
+    def test_invalid_subsample(self):
+        with pytest.raises(ValueError):
+            CausalForest(subsample=0.0)

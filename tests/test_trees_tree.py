@@ -1,0 +1,127 @@
+"""Tests for repro.trees.tree (CART)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.tree import DecisionTreeRegressor, best_sse_split
+
+
+class TestBestSseSplit:
+    def test_perfect_step(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        thr, gain = best_sse_split(x, y, min_samples_leaf=1)
+        assert 1.0 < thr < 2.0
+        assert gain == pytest.approx(100.0)  # SSE drops from 100 to 0
+
+    def test_no_split_on_constant_feature(self):
+        x = np.ones(10)
+        y = np.arange(10.0)
+        _, gain = best_sse_split(x, y, min_samples_leaf=1)
+        assert gain == -np.inf
+
+    def test_min_samples_leaf_respected(self):
+        x = np.arange(6.0)
+        y = np.array([0, 0, 0, 0, 0, 100.0])
+        thr, gain = best_sse_split(x, y, min_samples_leaf=2)
+        # the best single-point split (isolating the outlier) is forbidden
+        assert gain > -np.inf
+        left = np.sum(x <= thr)
+        assert 2 <= left <= 4
+
+    def test_too_few_samples(self):
+        _, gain = best_sse_split(np.array([1.0, 2.0]), np.array([0.0, 1.0]), min_samples_leaf=2)
+        assert gain == -np.inf
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gain_never_negative_when_valid(self, values):
+        y = np.asarray(values)
+        x = np.arange(len(y), dtype=float)
+        _, gain = best_sse_split(x, y, min_samples_leaf=1)
+        assert gain == -np.inf or gain >= -1e-6
+
+
+class TestDecisionTree:
+    def test_fits_step_function_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = np.where(x[:, 0] > 0.2, 5.0, -5.0)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y)
+
+    def test_max_depth_zero_is_mean(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.random.default_rng(1).normal(size=50)
+        tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), np.full(50, y.mean()))
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(min_samples_leaf=20).fit(x, y)
+        leaves, counts = np.unique(tree.apply(x), return_counts=True)
+        assert counts.min() >= 20
+
+    def test_prediction_interpolates_mean(self):
+        x = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([1.0, 3.0, 10.0, 20.0])
+        tree = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        pred = tree.predict([[0.0], [1.0]])
+        assert pred[0] == pytest.approx(2.0)
+        assert pred[1] == pytest.approx(15.0)
+
+    def test_apply_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeRegressor().apply(np.ones((1, 2)))
+
+    def test_feature_count_mismatch(self):
+        tree = DecisionTreeRegressor(max_depth=2).fit(np.ones((10, 3)), np.arange(10.0))
+        with pytest.raises(ValueError, match="features"):
+            tree.predict(np.ones((1, 2)))
+
+    def test_max_features_subsampling_runs(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 8))
+        y = x[:, 0] * 2
+        tree = DecisionTreeRegressor(max_depth=4, max_features="sqrt", random_state=0)
+        tree.fit(x, y)
+        assert tree.n_nodes >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_reduces_mse_vs_mean_on_smooth_target(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-2, 2, size=(500, 2))
+        y = np.sin(x[:, 0]) + 0.1 * rng.normal(size=500)
+        tree = DecisionTreeRegressor(max_depth=6, min_samples_leaf=5).fit(x, y)
+        mse_tree = float(np.mean((tree.predict(x) - y) ** 2))
+        mse_mean = float(np.var(y))
+        assert mse_tree < 0.3 * mse_mean
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_deeper_trees_fit_no_worse_in_sample(self, depth):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(200, 2))
+        y = rng.normal(size=200)
+        shallow = DecisionTreeRegressor(max_depth=depth).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=depth + 1).fit(x, y)
+        mse_shallow = float(np.mean((shallow.predict(x) - y) ** 2))
+        mse_deep = float(np.mean((deep.predict(x) - y) ** 2))
+        assert mse_deep <= mse_shallow + 1e-9

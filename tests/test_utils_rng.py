@@ -1,0 +1,69 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        gen = as_generator(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(13)
+        gen = as_generator(seed)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="random_state"):
+            as_generator("not-a-seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator(3.14)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_children_are_independent_streams(self):
+        gens = spawn_generators(0, 2)
+        a = gens[0].random(10)
+        b = gens[1].random(10)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_from_seed(self):
+        a = [g.random(3) for g in spawn_generators(5, 3)]
+        b = [g.random(3) for g in spawn_generators(5, 3)]
+        for ai, bi in zip(a, b):
+            np.testing.assert_array_equal(ai, bi)
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)
+
+    def test_parent_stream_not_shared(self):
+        parent = np.random.default_rng(3)
+        gens = spawn_generators(parent, 2)
+        assert all(g is not parent for g in gens)

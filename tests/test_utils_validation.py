@@ -1,0 +1,122 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_binary,
+    check_consistent_length,
+    check_in_open_interval,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheck2d:
+    def test_passthrough(self):
+        x = np.ones((3, 2))
+        out = check_2d(x)
+        np.testing.assert_array_equal(out, x)
+
+    def test_1d_promoted_to_column(self):
+        out = check_2d([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_2d(np.ones((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            check_2d(np.ones((0, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_2d([[1.0, np.nan]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_2d([[np.inf, 1.0]])
+
+    def test_list_coerced_to_float(self):
+        out = check_2d([[1, 2], [3, 4]])
+        assert out.dtype == float
+
+
+class TestCheck1d:
+    def test_ravel(self):
+        out = check_1d(np.ones((3, 1)))
+        assert out.shape == (3,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one element"):
+            check_1d([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_1d([1.0, np.nan])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="my_target"):
+            check_1d([np.nan], name="my_target")
+
+
+class TestCheckBinary:
+    def test_valid(self):
+        out = check_binary([0, 1, 1, 0])
+        assert out.dtype == np.int64
+
+    def test_all_ones_ok(self):
+        check_binary([1, 1, 1])
+
+    def test_two_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_binary([0, 1, 2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            check_binary([-1, 0, 1])
+
+    def test_boolean_accepted(self):
+        out = check_binary(np.array([True, False]))
+        np.testing.assert_array_equal(out, [1, 0])
+
+
+class TestConsistentLength:
+    def test_equal_ok(self):
+        check_consistent_length(np.ones(3), np.zeros(3))
+
+    def test_unequal_raises(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            check_consistent_length(np.ones(3), np.zeros(4))
+
+    def test_names_in_message(self):
+        with pytest.raises(ValueError, match="alpha=3.*beta=4"):
+            check_consistent_length(np.ones(3), np.zeros(4), names=("alpha", "beta"))
+
+
+class TestScalarChecks:
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_open_interval(self):
+        assert check_in_open_interval(0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            check_in_open_interval(0.0, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_open_interval(1.0, 0, 1)
+
+    def test_positive(self):
+        assert check_positive(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
