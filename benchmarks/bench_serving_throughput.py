@@ -1,0 +1,69 @@
+"""Serving-layer throughput: micro-batching and cache leverage.
+
+Measures the :class:`~repro.serving.engine.ScoringEngine` request rate
+at micro-batch sizes 1 / 32 / 256 with the LRU cache off and on.  The
+numbers quantify the two serving levers the subsystem exists for:
+
+* batching — one vectorised DRP forward pass per flush amortises the
+  Python dispatch overhead, so requests/sec must grow sharply with the
+  batch size (the ISSUE acceptance bar: >= 10x from batch 1 to 256);
+* caching — repeat feature rows (retargeted users) skip the model
+  entirely, stacking on top of the batching gain.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import get_rdrp, get_setting, print_header
+from repro.serving.engine import ScoringEngine
+
+BATCH_SIZES = (1, 32, 256)
+N_REQUESTS = 2048
+N_UNIQUE = 256  # unique rows in the cache-on stream (87.5% hit rate)
+
+
+def _requests_per_second(model, rows, batch_size, cache_size) -> tuple[float, float]:
+    engine = ScoringEngine(model, batch_size=batch_size, cache_size=cache_size)
+    if cache_size:  # warm the cache with the unique rows
+        for row in rows[:N_UNIQUE]:
+            engine.submit(row)
+        engine.flush()
+    start = time.perf_counter()
+    for row in rows:
+        engine.submit(row)
+    engine.flush()
+    elapsed = time.perf_counter() - start
+    return len(rows) / elapsed, engine.cache_hit_rate
+
+
+def test_throughput_batch_and_cache(benchmark) -> None:
+    """requests/sec over the batch-size x cache grid."""
+
+    def run() -> dict[tuple[int, str], tuple[float, float]]:
+        data = get_setting("criteo", "SuNo")
+        model = get_rdrp("criteo", "SuNo").drp  # single-pass DRP scorer
+        unique = data.test.x[:N_UNIQUE]
+        repeated = np.tile(unique, (N_REQUESTS // N_UNIQUE, 1))
+        distinct = data.test.x[:N_REQUESTS]
+        out = {}
+        for batch in BATCH_SIZES:
+            out[(batch, "off")] = _requests_per_second(model, distinct, batch, 0)
+            out[(batch, "on")] = _requests_per_second(model, repeated, batch, 4 * N_UNIQUE)
+        return out
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("serving throughput — requests/sec (2048 requests)")
+    print(f"  {'batch':>6s} {'cache':>6s} {'req/s':>12s} {'hit rate':>9s}")
+    for (batch, cache), (rps, hit_rate) in sorted(grid.items()):
+        print(f"  {batch:>6d} {cache:>6s} {rps:>12.0f} {hit_rate:>9.2f}")
+
+    rps_1 = grid[(1, "off")][0]
+    rps_256 = grid[(256, "off")][0]
+    print(f"  batching leverage: {rps_256 / rps_1:.1f}x (bar: >= 10x)")
+    assert rps_256 >= 10.0 * rps_1
+    # the cache path must not be slower than cold scoring at equal batch
+    assert grid[(256, "on")][0] >= rps_256 * 0.5
+    assert grid[(256, "on")][1] > 0.8  # the stream really did hit the cache

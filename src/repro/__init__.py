@@ -16,6 +16,24 @@ Quickstart
 ...                 data.calibration.y_r, data.calibration.y_c)
 >>> froi = model.predict_roi(data.test.x)
 >>> aucc(froi, data.test.t, data.test.y_r, data.test.y_c)  # doctest: +SKIP
+
+Online serving (``repro.serving``)
+----------------------------------
+The offline pipeline above sees the whole cohort at once; production
+decisioning happens per request.  :mod:`repro.serving` provides the
+online half: a versioned :class:`ModelRegistry` with champion /
+challenger rollout, a micro-batching :class:`ScoringEngine` with an
+LRU score cache, a streaming :class:`BudgetPacer` that admits users
+through an adaptive threshold tracking a daily pacing curve, pluggable
+decision policies (greedy-ROI and conformal-gated), and a
+:class:`TrafficReplay` harness measuring throughput and the online
+policy's revenue against the offline greedy oracle.
+
+>>> from repro import ModelRegistry, ScoringEngine, TrafficReplay, Platform
+>>> registry = ModelRegistry()
+>>> registry.register(model, promote=True)  # doctest: +SKIP
+>>> engine = ScoringEngine(registry, batch_size=64)  # doctest: +SKIP
+>>> result = TrafficReplay(Platform(), engine).replay_day(10_000)  # doctest: +SKIP
 """
 
 from repro.ab import ABTest, Platform
@@ -41,6 +59,7 @@ from repro.core import (
     RobustDRP,
     RoiStarEstimator,
     binary_search_roi_star,
+    bisect_monotone,
     greedy_allocation,
     greedy_allocation_by_roi,
     pav_isotonic,
@@ -56,22 +75,36 @@ from repro.data import (
     multi_treatment_rct,
 )
 from repro.metrics import aucc, cost_curve, qini_coefficient
+from repro.serving import (
+    BudgetPacer,
+    ConformalGatedPolicy,
+    GreedyROIPolicy,
+    ModelRegistry,
+    ScoringEngine,
+    TrafficReplay,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ABTest",
+    "BudgetPacer",
     "CausalForestUplift",
     "ConformalCalibrator",
+    "ConformalGatedPolicy",
     "DRPModel",
     "DirectRank",
     "DivideAndConquerRDRP",
     "DragonNet",
+    "GreedyROIPolicy",
+    "ModelRegistry",
     "MultiTreatmentRCT",
     "multi_treatment_rct",
     "HeuristicCalibration",
     "IsotonicRoiRecalibration",
     "OffsetNet",
+    "ScoringEngine",
+    "TrafficReplay",
     "pav_isotonic",
     "Platform",
     "RCTDataset",
@@ -86,6 +119,7 @@ __all__ = [
     "alibaba_lift",
     "aucc",
     "binary_search_roi_star",
+    "bisect_monotone",
     "cost_curve",
     "criteo_uplift_v2",
     "exponential_tilt_shift",

@@ -69,21 +69,33 @@ class Platform:
             raise ValueError(f"day must be >= 1, got {day}")
         # meituan's binarisation keeps ~40% of generated rows; the tilt
         # keeps the requested fraction of its pool — oversample for both
-        # so the cohort always has exactly n users
+        # so the cohort always has exactly n users, doubling the factor
+        # on the rare draws where the yield still falls short
         oversample = 3.0 if self.dataset == "meituan" else 1.2
-        if self.shifted:
-            pool = load_dataset(
-                self.dataset, int(2 * n * oversample), random_state=self._rng
-            )
-            cohort = exponential_tilt_shift(
-                pool, strength=self.shift_strength, n_out=n, random_state=self._rng
-            )
-        else:
-            cohort = load_dataset(self.dataset, int(n * oversample), random_state=self._rng)
+        cohort = None
+        for attempt in range(3):
+            if attempt:
+                oversample *= 2.0
+            if self.shifted:
+                pool = load_dataset(
+                    self.dataset, int(2 * n * oversample), random_state=self._rng
+                )
+                if pool.n < n:
+                    cohort = pool  # short pool: tilting would fail, retry bigger
+                    continue
+                cohort = exponential_tilt_shift(
+                    pool, strength=self.shift_strength, n_out=n, random_state=self._rng
+                )
+            else:
+                cohort = load_dataset(
+                    self.dataset, int(n * oversample), random_state=self._rng
+                )
+            if cohort.n >= n:
+                break
         if cohort.n < n:
             raise RuntimeError(
-                f"Cohort generation produced {cohort.n} < {n} users; "
-                "increase the oversampling factor"
+                f"Cohort generation produced {cohort.n} < {n} users even at "
+                f"oversample factor {oversample:.1f}"
             )
         if cohort.n > n:
             cohort = cohort.subset(np.arange(n))
@@ -92,6 +104,32 @@ class Platform:
         cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
         cohort.tau_c = np.clip(cohort.tau_c * multiplier, 1e-6, None)
         return cohort
+
+    def iter_events(
+        self,
+        cohort: RCTDataset,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        """Stream a cohort one arrival at a time (the serving-side view).
+
+        Yields ``(index, x_row)`` pairs in a random arrival order —
+        production traffic does not arrive sorted by ROI, which is
+        exactly why online allocation needs pacing instead of the
+        offline sort of Algorithm 1.  ``index`` addresses the cohort's
+        ground-truth ``tau_r`` / ``tau_c`` for outcome realisation.
+
+        Parameters
+        ----------
+        cohort:
+            A cohort from :meth:`daily_cohort`.
+        random_state:
+            Optional dedicated generator for the arrival order; by
+            default the platform's own stream is used.
+        """
+        rng = self._rng if random_state is None else as_generator(random_state)
+        for i in rng.permutation(cohort.n):
+            i = int(i)
+            yield i, cohort.x[i]
 
     def realize_arm(
         self,

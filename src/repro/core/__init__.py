@@ -36,10 +36,11 @@ from repro.core.drp import DRPModel, drp_loss, drp_loss_gradient, drp_pooled_der
 from repro.core.extensions import IsotonicRoiRecalibration, pav_isotonic
 from repro.core.multi_treatment import DivideAndConquerRDRP, MultiAllocationResult
 from repro.core.rdrp import RobustDRP
-from repro.core.roi_star import RoiStarEstimator, binary_search_roi_star
+from repro.core.roi_star import RoiStarEstimator, binary_search_roi_star, bisect_monotone
 
 __all__ = [
     "AllocationResult",
+    "bisect_monotone",
     "CALIBRATION_FORMS",
     "ConformalCalibrator",
     "DRPModel",

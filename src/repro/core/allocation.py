@@ -33,12 +33,17 @@ class AllocationResult:
         (NaN when rewards were not supplied).
     n_selected:
         Number of treated individuals.
+    path:
+        Which solver branch produced the result: ``"fast_path"`` (one
+        vectorised cumulative sum) or ``"scan_fallback"`` (the per-item
+        skip-and-continue scan was needed).
     """
 
     selected: np.ndarray
     total_cost: float
     total_reward: float
     n_selected: int
+    path: str = "fast_path"
 
 
 def greedy_allocation(
@@ -67,13 +72,18 @@ def greedy_allocation(
     An individual whose cost does not fit in the *remaining* budget is
     skipped and the scan continues — the standard greedy knapsack
     refinement, which never does worse than stopping outright.
+
+    The common case — the budget-fitting prefix of the sorted order
+    leaves too little for *any* later individual — is resolved with one
+    vectorised cumulative sum; the per-item scan only runs when some
+    cheaper individual further down could still be admitted.
     """
     roi_scores = check_1d(roi_scores, "roi_scores")
     costs = check_1d(costs, "costs")
     check_consistent_length(roi_scores, costs, names=("roi_scores", "costs"))
     if np.any(costs <= 0):
         raise ValueError("costs must be strictly positive (Assumption 4)")
-    if budget < 0:
+    if not budget >= 0:  # rejects NaN too
         raise ValueError(f"budget must be >= 0, got {budget}")
     if rewards is not None:
         rewards = check_1d(rewards, "rewards")
@@ -82,12 +92,21 @@ def greedy_allocation(
     n = roi_scores.shape[0]
     order = np.argsort(-roi_scores, kind="stable")
     selected = np.zeros(n, dtype=bool)
-    remaining = float(budget)
-    for i in order:
-        c = float(costs[i])
-        if c <= remaining:
-            selected[i] = True
-            remaining -= c
+    costs_in_order = costs[order]
+    cumulative = np.cumsum(costs_in_order)
+    # number of leading individuals whose running total stays within B
+    k = int(np.searchsorted(cumulative, budget, side="right"))
+    selected[order[:k]] = True
+    remaining = float(budget) - (float(cumulative[k - 1]) if k else 0.0)
+    if k == n or float(np.min(costs_in_order[k:])) > remaining:
+        path = "fast_path"
+    else:
+        path = "scan_fallback"
+        for i in order[k:]:
+            c = float(costs[i])
+            if c <= remaining:
+                selected[i] = True
+                remaining -= c
     total_cost = float(np.sum(costs[selected]))
     total_reward = float(np.sum(rewards[selected])) if rewards is not None else float("nan")
     return AllocationResult(
@@ -95,6 +114,7 @@ def greedy_allocation(
         total_cost=total_cost,
         total_reward=total_reward,
         n_selected=int(np.sum(selected)),
+        path=path,
     )
 
 

@@ -21,10 +21,45 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Callable
+
 from repro.core.drp import drp_pooled_derivative
 from repro.utils.validation import check_1d, check_binary, check_consistent_length
 
-__all__ = ["binary_search_roi_star", "RoiStarEstimator"]
+__all__ = ["bisect_monotone", "binary_search_roi_star", "RoiStarEstimator"]
+
+
+def bisect_monotone(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    eps: float = 1e-3,
+) -> float:
+    """Bisect a monotone-increasing ``fn`` to its zero crossing on ``[lo, hi]``.
+
+    The generic threshold search underlying Algorithm 2 — and reused by
+    :mod:`repro.serving.pacing` to locate admission thresholds on
+    streaming traffic.  Stops when either the bracket width or ``|fn|``
+    at the midpoint falls below ``eps`` and returns the midpoint.  When
+    the zero lies outside ``[lo, hi]`` the search converges to the
+    nearer endpoint, which is the correct clamped threshold.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    if not lo < hi:
+        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+    mid = 0.5 * (lo + hi)
+    value = fn(mid)
+    while abs(hi - lo) > eps:
+        if abs(value) < eps:
+            break
+        if value > 0:
+            hi = mid
+        else:
+            lo = mid
+        mid = 0.5 * (lo + hi)
+        value = fn(mid)
+    return float(mid)
 
 
 def binary_search_roi_star(
@@ -53,20 +88,9 @@ def binary_search_roi_star(
     float
         The convergence-point ROI of the pooled sample.
     """
-    if eps <= 0:
-        raise ValueError(f"eps must be > 0, got {eps}")
-    roi_left, roi_right = 0.0, 1.0
-    roi_star = 0.5 * (roi_left + roi_right)
-    derivative = drp_pooled_derivative(roi_star, t, y_r, y_c)
-    while abs(roi_right - roi_left) > eps:
-        if abs(derivative) < eps:
-            break
-        if derivative > 0:
-            roi_right = roi_star
-        else:
-            roi_left = roi_star
-        roi_star = 0.5 * (roi_left + roi_right)
-        derivative = drp_pooled_derivative(roi_star, t, y_r, y_c)
+    roi_star = bisect_monotone(
+        lambda roi: drp_pooled_derivative(roi, t, y_r, y_c), 0.0, 1.0, eps=eps
+    )
     return float(np.clip(roi_star, clip, 1.0 - clip))
 
 

@@ -1,0 +1,50 @@
+"""Online scoring and budget-paced allocation (the serving layer).
+
+The offline pipeline — fit DRP/rDRP, solve C-BTAP with Algorithm 1 —
+assumes the whole day's cohort is visible at once.  The platform the
+paper deploys on does not work that way: users arrive one at a time
+and the treat/skip decision happens *in-request*, under a budget that
+has to survive until midnight.  This package is that online half:
+
+* :class:`ModelRegistry` — versioned models with champion/challenger
+  staged rollout and deterministic per-user traffic splitting;
+* :class:`ScoringEngine` — micro-batching request scorer (one
+  vectorised model call per flush) with an LRU score cache;
+* :class:`BudgetPacer` — streaming C-BTAP admission via an adaptive
+  score threshold fit on a sliding traffic window with the Algorithm-2
+  bisection primitive, tracking a target pacing curve and optionally
+  floored at the live ``roi*`` break-even;
+* :class:`GreedyROIPolicy` / :class:`ConformalGatedPolicy` — pluggable
+  decision scores (point estimate vs conformal lower bound);
+* :class:`TrafficReplay` — stream :class:`~repro.ab.platform.Platform`
+  cohorts through the stack and report throughput, spend trajectory,
+  and incremental revenue against the offline greedy oracle.
+
+Quickstart
+----------
+>>> from repro.serving import ModelRegistry, ScoringEngine, TrafficReplay
+>>> registry = ModelRegistry()
+>>> registry.register(fitted_model, promote=True)  # doctest: +SKIP
+>>> engine = ScoringEngine(registry, batch_size=64)  # doctest: +SKIP
+>>> replay = TrafficReplay(platform, engine)  # doctest: +SKIP
+>>> result = replay.replay_day(10_000)  # doctest: +SKIP
+>>> result.revenue_ratio  # online vs offline-oracle revenue  # doctest: +SKIP
+"""
+
+from repro.serving.engine import ScoringEngine
+from repro.serving.pacing import BudgetPacer
+from repro.serving.policy import ConformalGatedPolicy, DecisionPolicy, GreedyROIPolicy
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.simulator import ReplayResult, TrafficReplay
+
+__all__ = [
+    "BudgetPacer",
+    "ConformalGatedPolicy",
+    "DecisionPolicy",
+    "GreedyROIPolicy",
+    "ModelRegistry",
+    "ModelVersion",
+    "ReplayResult",
+    "ScoringEngine",
+    "TrafficReplay",
+]

@@ -1,0 +1,232 @@
+"""Streaming budget pacing: admit users online without exhausting B early.
+
+Offline, Algorithm 1 sees the whole day at once — it sorts by ROI and
+spends down the budget.  Online, users arrive one at a time and a
+naive "treat while budget remains" policy exhausts B in the first hour
+on mediocre users.  :class:`BudgetPacer` solves the streaming version
+of C-BTAP with an *adaptive admission threshold*:
+
+1. every arrival's ``(score, cost)`` lands in a sliding window — a
+   live sample of the day's traffic distribution;
+2. the pacer periodically derives the per-event spend rate that keeps
+   cumulative spend on a target pacing curve (uniform by default), and
+3. locates, with the same bisection primitive as Algorithm 2
+   (:func:`repro.core.roi_star.bisect_monotone`), the score threshold
+   whose expected admitted cost over the window matches that rate.
+
+When realised outcomes are fed back via :meth:`observe_outcome`, the
+pacer additionally computes the break-even ``roi*`` of recent traffic
+with :func:`repro.core.roi_star.binary_search_roi_star` and uses it as
+a profitability floor under the pacing threshold — the paper's "treat
+only when ROI clears roi*" rule, applied to the live stream.
+
+Two invariants hold by construction: cumulative spend never exceeds
+the budget, and never exceeds the pacing curve by more than
+``curve_slack`` of the budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.core.roi_star import binary_search_roi_star, bisect_monotone
+
+__all__ = ["BudgetPacer"]
+
+
+def _uniform_curve(progress: float) -> float:
+    """Default pacing target: spend linearly across the day."""
+    return progress
+
+
+class BudgetPacer:
+    """Admit streaming users under a budget that must last the horizon.
+
+    Parameters
+    ----------
+    budget:
+        Total (expected-cost) budget B for the horizon.
+    horizon:
+        Expected number of arrivals; progress along the pacing curve is
+        ``n_seen / horizon`` (capped at 1 — extra traffic spends
+        whatever remains).
+    window:
+        Sliding-window length for the traffic sample.
+    refresh_every:
+        Re-derive the threshold every this many arrivals.
+    lookahead:
+        Events ahead used to convert the curve into a spend rate;
+        smaller tracks the curve tighter, larger smooths noise.
+    warmup:
+        Arrivals before the first threshold fit; during warmup
+        admission is purely curve-gated (score-blind), which buys the
+        window an unbiased traffic sample.  Capped at a quarter of the
+        horizon so short days still engage the threshold.
+    target_curve:
+        Monotone callable ``progress ∈ [0,1] → fraction of B`` with
+        ``curve(1) == 1``; default uniform.
+    curve_slack:
+        Admissions may run ahead of the curve by at most this fraction
+        of B (absorbs cost granularity without losing pacing).
+    use_roi_floor:
+        Apply the ``roi*`` profitability floor when outcome feedback is
+        available (see :meth:`observe_outcome`).
+    min_arm_outcomes:
+        Treated *and* control outcomes required in the feedback window
+        before the floor activates.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        horizon: int,
+        *,
+        window: int = 1024,
+        refresh_every: int = 64,
+        lookahead: int = 256,
+        warmup: int = 128,
+        target_curve: Callable[[float], float] | None = None,
+        curve_slack: float = 0.05,
+        use_roi_floor: bool = True,
+        min_arm_outcomes: int = 20,
+    ) -> None:
+        if not budget >= 0:  # rejects NaN too
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if refresh_every < 1:
+            raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        if not 0.0 <= curve_slack <= 1.0:
+            raise ValueError(f"curve_slack must be in [0, 1], got {curve_slack}")
+        self.budget = float(budget)
+        self.horizon = int(horizon)
+        self.window = int(window)
+        self.refresh_every = int(refresh_every)
+        self.lookahead = int(lookahead)
+        self.warmup = min(int(warmup), max(2, horizon // 4))
+        self.target_curve = target_curve if target_curve is not None else _uniform_curve
+        self.curve_slack = float(curve_slack)
+        self.use_roi_floor = bool(use_roi_floor)
+        self.min_arm_outcomes = int(min_arm_outcomes)
+
+        self._traffic: deque[tuple[float, float]] = deque(maxlen=self.window)
+        self._outcomes: deque[tuple[int, float, float]] = deque(maxlen=self.window)
+        self.n_seen = 0
+        self.n_admitted = 0
+        self.spent = 0.0
+        self.threshold_ = 0.0
+        self.roi_floor_ = 0.0
+        self._last_refresh = -(10**9)
+        # (n_seen, spent, threshold) at each refresh — the pacing trace
+        self.history: list[tuple[int, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # the admission decision
+    # ------------------------------------------------------------------
+    def offer(self, score: float, cost: float) -> bool:
+        """Record one arrival and decide treat (True) / skip (False)."""
+        score = float(score)
+        cost = float(cost)
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0 (Assumption 4), got {cost}")
+        self.n_seen += 1
+        self._traffic.append((score, cost))
+        if (
+            self.n_seen >= self.warmup
+            and self.n_seen - self._last_refresh >= self.refresh_every
+        ):
+            self._refresh()
+
+        progress = min(1.0, self.n_seen / self.horizon)
+        curve_cap = self.budget * min(
+            1.0, float(self.target_curve(progress)) + self.curve_slack
+        )
+        cap = min(self.budget, curve_cap)
+        if self.spent + cost > cap:
+            return False
+        if self.n_seen > self.warmup and score < self.threshold_:
+            return False
+        self.n_admitted += 1
+        self.spent += cost
+        return True
+
+    def observe_outcome(self, t: int, y_r: float, y_c: float) -> None:
+        """Feed back one realised outcome (treated flag, revenue, cost).
+
+        Outcomes power the ``roi*`` profitability floor; without them
+        the pacer paces spend but cannot tell whether spending is
+        worthwhile at all.
+        """
+        self._outcomes.append((int(t), float(y_r), float(y_c)))
+
+    # ------------------------------------------------------------------
+    # threshold adaptation
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        self._last_refresh = self.n_seen
+        traffic = np.asarray(self._traffic, dtype=float)
+        scores, costs = traffic[:, 0], traffic[:, 1]
+
+        progress = min(1.0, self.n_seen / self.horizon)
+        ahead = min(1.0, (self.n_seen + self.lookahead) / self.horizon)
+        events_ahead = max(1, int(round((ahead - progress) * self.horizon)))
+        target_cum = self.budget * float(self.target_curve(ahead))
+        rate = (target_cum - self.spent) / events_ahead
+
+        if rate <= 0.0:
+            # ahead of the curve: admit nothing until spend catches up
+            self.threshold_ = float(np.max(scores)) + 1.0
+        else:
+            lo = float(np.min(scores)) - 1e-9
+            hi = float(np.max(scores)) + 1e-9
+
+            def pace_gap(thr: float) -> float:
+                # relative gap (dimensionless so the bisection tolerance is
+                # cost-scale independent); > 0 when admitting above ``thr``
+                # spends slower than needed
+                admitted = float(np.mean(np.where(scores >= thr, costs, 0.0)))
+                return 1.0 - admitted / rate
+
+            if pace_gap(lo) >= 0.0:
+                self.threshold_ = lo  # even admitting everyone is too slow
+            else:
+                self.threshold_ = bisect_monotone(pace_gap, lo, hi, eps=1e-3)
+
+        if self.use_roi_floor and self._outcomes:
+            outcomes = np.asarray(self._outcomes, dtype=float)
+            t, y_r, y_c = outcomes[:, 0], outcomes[:, 1], outcomes[:, 2]
+            n1, n0 = int(np.sum(t == 1)), int(np.sum(t == 0))
+            if n1 >= self.min_arm_outcomes and n0 >= self.min_arm_outcomes:
+                # Assumption 4 guard: the bisection needs tau_c > 0 in the
+                # window, else the derivative never crosses zero and the
+                # floor degenerates to the search endpoint
+                tau_c = float(y_c[t == 1].mean() - y_c[t == 0].mean())
+                if tau_c > 0.0:
+                    self.roi_floor_ = binary_search_roi_star(t, y_r, y_c)
+                    self.threshold_ = max(self.threshold_, self.roi_floor_)
+        self.history.append((self.n_seen, self.spent, self.threshold_))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def progress(self) -> float:
+        """Fraction of the horizon consumed (capped at 1)."""
+        return min(1.0, self.n_seen / self.horizon)
+
+    @property
+    def remaining(self) -> float:
+        """Budget left to spend."""
+        return max(0.0, self.budget - self.spent)
+
+    @property
+    def admit_rate(self) -> float:
+        """Fraction of arrivals admitted so far."""
+        return self.n_admitted / self.n_seen if self.n_seen else 0.0

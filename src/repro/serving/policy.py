@@ -1,0 +1,75 @@
+"""Pluggable decision policies: how a model's output becomes a decision score.
+
+A policy turns ``(model, feature batch)`` into one scalar score per
+user; the :class:`~repro.serving.pacing.BudgetPacer` then admits the
+users whose score clears its adaptive threshold.  Two stances from the
+paper are provided:
+
+* :class:`GreedyROIPolicy` — rank by the point estimate ``froi(x)``
+  (the Algorithm-1 ordering, DRP/rDRP's default);
+* :class:`ConformalGatedPolicy` — rank by the conformal *lower* bound
+  of :meth:`RobustDRP.predict_interval`, so a user is treated only
+  when even the pessimistic end of the interval clears the admission
+  threshold.  This is the online analog of the paper's robustness
+  argument: under miscalibration the point estimate over-treats
+  uncertain users, while the lower bound concentrates spend on users
+  whose profitability is *certain*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionPolicy", "GreedyROIPolicy", "ConformalGatedPolicy"]
+
+
+class DecisionPolicy:
+    """Base policy: maps a model and a feature batch to decision scores."""
+
+    name = "base"
+
+    def score_batch(self, model: object, x: np.ndarray) -> np.ndarray:
+        """Return one decision score per row of ``x`` (vectorised)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class GreedyROIPolicy(DecisionPolicy):
+    """Score by the model's ROI point estimate (Algorithm 1 ordering)."""
+
+    name = "greedy_roi"
+
+    def score_batch(self, model: object, x: np.ndarray) -> np.ndarray:
+        return np.asarray(model.predict_roi(x), dtype=float).ravel()
+
+
+class ConformalGatedPolicy(DecisionPolicy):
+    """Score by the conformal lower ROI bound — the robust stance.
+
+    Parameters
+    ----------
+    fallback_shrink:
+        Models without ``predict_interval`` (plain DRP, TPM baselines)
+        fall back to ``fallback_shrink × predict_roi``; the uniform
+        shrink keeps the *ranking* identical while signalling that the
+        gate is advisory only for such models.
+    """
+
+    name = "conformal_gated"
+
+    def __init__(self, fallback_shrink: float = 0.9) -> None:
+        if not 0.0 < fallback_shrink <= 1.0:
+            raise ValueError(
+                f"fallback_shrink must be in (0, 1], got {fallback_shrink}"
+            )
+        self.fallback_shrink = float(fallback_shrink)
+
+    def score_batch(self, model: object, x: np.ndarray) -> np.ndarray:
+        if callable(getattr(model, "predict_interval", None)):
+            lower, _upper = model.predict_interval(x)
+            return np.asarray(lower, dtype=float).ravel()
+        return self.fallback_shrink * np.asarray(
+            model.predict_roi(x), dtype=float
+        ).ravel()

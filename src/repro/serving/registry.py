@@ -1,0 +1,216 @@
+"""Versioned model registry with staged champion/challenger rollout.
+
+A deployed allocation system never swaps models atomically: a freshly
+calibrated challenger first takes a small slice of live traffic, its
+online metrics are compared against the incumbent champion, and only
+then is it promoted.  :class:`ModelRegistry` implements that lifecycle
+for any scorer exposing ``predict_roi(x)`` (``DRPModel``,
+``RobustDRP``, TPM baselines, or a plain callable wrapper).
+
+Routing is deterministic per user key — the same user always sees the
+same model version at a fixed split, which keeps online metrics
+comparable — and falls back to a seeded random draw for keyless
+requests.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+CHAMPION = "champion"
+CHALLENGER = "challenger"
+ARCHIVED = "archived"
+
+
+@dataclass
+class ModelVersion:
+    """One registered model and its rollout state.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing integer id assigned at registration.
+    name:
+        Human label (defaults to ``"model-v<version>"``).
+    model:
+        The scorer; must expose ``predict_roi(x)``.
+    stage:
+        ``"champion"``, ``"challenger"`` or ``"archived"``.
+    requests:
+        Number of requests routed to this version so far.
+    """
+
+    version: int
+    name: str
+    model: object
+    stage: str
+    requests: int = field(default=0)
+
+
+class ModelRegistry:
+    """Holds model versions and routes requests across the active pair.
+
+    Parameters
+    ----------
+    traffic_split:
+        Fraction of traffic routed to the challenger when one is
+        staged (0 disables the challenger without unstaging it).
+    random_state:
+        Seed/generator for routing requests that carry no user key.
+    """
+
+    def __init__(
+        self,
+        traffic_split: float = 0.1,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self._versions: dict[int, ModelVersion] = {}
+        self._next_version = 1
+        self._champion: int | None = None
+        self._challenger: int | None = None
+        self._previous_champion: int | None = None
+        self._rng = as_generator(random_state)
+        self.traffic_split = traffic_split
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def traffic_split(self) -> float:
+        return self._traffic_split
+
+    @traffic_split.setter
+    def traffic_split(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"traffic_split must be in [0, 1], got {value}")
+        self._traffic_split = float(value)
+
+    def register(
+        self, model: object, name: str | None = None, promote: bool = False
+    ) -> int:
+        """Add a model; it becomes the challenger (or champion if first).
+
+        Parameters
+        ----------
+        model:
+            Any object with a ``predict_roi(x)`` method.
+        name:
+            Optional display name.
+        promote:
+            When True the model becomes champion immediately (initial
+            deployment / emergency hotfix path).
+
+        Returns
+        -------
+        int
+            The assigned version id.
+        """
+        if not callable(getattr(model, "predict_roi", None)):
+            raise TypeError("model must expose a callable predict_roi(x)")
+        version = self._next_version
+        self._next_version += 1
+        name = name or f"model-v{version}"
+        if self._champion is None or promote:
+            stage = CHAMPION
+        else:
+            stage = CHALLENGER
+        entry = ModelVersion(version=version, name=name, model=model, stage=stage)
+        self._versions[version] = entry
+        if stage == CHAMPION:
+            if self._champion is not None:
+                self._archive(self._champion)
+                self._previous_champion = self._champion
+            self._champion = version
+        else:
+            if self._challenger is not None:
+                self._archive(self._challenger)
+            self._challenger = version
+        return version
+
+    def promote(self, version: int | None = None) -> int:
+        """Make the (given or current) challenger the champion.
+
+        The displaced champion is archived but kept for
+        :meth:`rollback`.  Returns the promoted version id.
+        """
+        version = self._challenger if version is None else version
+        if version is None or version not in self._versions:
+            raise ValueError("no challenger staged to promote")
+        entry = self._versions[version]
+        if entry.stage == CHAMPION:
+            return version
+        old_champion = self._champion
+        if old_champion is not None:
+            self._archive(old_champion)
+        self._previous_champion = old_champion
+        entry.stage = CHAMPION
+        self._champion = version
+        if self._challenger == version:
+            self._challenger = None
+        return version
+
+    def rollback(self) -> int:
+        """Restore the champion displaced by the last :meth:`promote`."""
+        if self._previous_champion is None:
+            raise RuntimeError("no previous champion to roll back to")
+        bad = self._champion
+        restored = self._previous_champion
+        self._versions[restored].stage = CHAMPION
+        self._champion = restored
+        self._previous_champion = None
+        if bad is not None:
+            self._archive(bad)
+        return restored
+
+    def _archive(self, version: int) -> None:
+        self._versions[version].stage = ARCHIVED
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @property
+    def champion(self) -> ModelVersion:
+        if self._champion is None:
+            raise RuntimeError("registry has no champion; register a model first")
+        return self._versions[self._champion]
+
+    @property
+    def challenger(self) -> ModelVersion | None:
+        return self._versions[self._challenger] if self._challenger is not None else None
+
+    def get(self, version: int) -> ModelVersion:
+        """Look up a version id (KeyError if unknown)."""
+        return self._versions[version]
+
+    def versions(self) -> list[ModelVersion]:
+        """All registered versions, oldest first."""
+        return [self._versions[v] for v in sorted(self._versions)]
+
+    def route(self, key: str | int | None = None) -> ModelVersion:
+        """Pick the version serving one request.
+
+        Keyed requests hash deterministically into the split (stable
+        user→version assignment for the *current* challenger; the hash
+        is salted with the challenger version so successive experiments
+        draw different user slices); keyless requests draw from the
+        registry's RNG.
+        """
+        champion = self.champion  # raises if none
+        chosen = champion
+        if self._challenger is not None and self._traffic_split > 0.0:
+            if key is None:
+                u = float(self._rng.random())
+            else:
+                salted = f"{key}:{self._challenger}".encode()
+                u = (zlib.crc32(salted) % 10_000) / 10_000.0
+            if u < self._traffic_split:
+                chosen = self._versions[self._challenger]
+        chosen.requests += 1
+        return chosen

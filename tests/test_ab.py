@@ -58,6 +58,67 @@ class TestPlatform:
         with pytest.raises(ValueError, match="base_revenue_rate"):
             Platform(base_revenue_rate=0.0)
 
+    def test_daily_cohort_retries_with_larger_oversample(self, monkeypatch):
+        """An under-producing draw doubles the oversample and retries."""
+        from repro.ab import platform as platform_module
+
+        real = platform_module.load_dataset
+        requested = []
+
+        def flaky(name, n, random_state=None):
+            requested.append(n)
+            if len(requested) == 1:
+                return real(name, 50, random_state=random_state)
+            return real(name, n, random_state=random_state)
+
+        monkeypatch.setattr(platform_module, "load_dataset", flaky)
+        cohort = Platform(dataset="criteo", random_state=0).daily_cohort(200, day=1)
+        assert cohort.n == 200
+        assert len(requested) == 2
+        assert requested[1] == 2 * requested[0]
+
+    def test_shifted_cohort_retries_on_short_pool(self, monkeypatch):
+        """A pool too small to tilt retries instead of raising ValueError."""
+        from repro.ab import platform as platform_module
+
+        real = platform_module.load_dataset
+        requested = []
+
+        def flaky(name, n, random_state=None):
+            requested.append(n)
+            if len(requested) == 1:
+                return real(name, 50, random_state=random_state)  # < n: can't tilt
+            return real(name, n, random_state=random_state)
+
+        monkeypatch.setattr(platform_module, "load_dataset", flaky)
+        p = Platform(dataset="criteo", shifted=True, random_state=0)
+        cohort = p.daily_cohort(200, day=1)
+        assert cohort.n == 200
+        assert len(requested) == 2
+        assert requested[1] == 2 * requested[0]
+
+    def test_daily_cohort_gives_up_after_three_attempts(self, monkeypatch):
+        from repro.ab import platform as platform_module
+
+        real = platform_module.load_dataset
+        requested = []
+
+        def starved(name, n, random_state=None):
+            requested.append(n)
+            return real(name, 10, random_state=random_state)
+
+        monkeypatch.setattr(platform_module, "load_dataset", starved)
+        with pytest.raises(RuntimeError, match="oversample"):
+            Platform(dataset="criteo", random_state=0).daily_cohort(200, day=1)
+        assert len(requested) == 3
+
+    def test_iter_events_streams_whole_cohort(self, platform):
+        cohort = platform.daily_cohort(120, day=1)
+        events = list(platform.iter_events(cohort, random_state=4))
+        assert sorted(i for i, _x in events) == list(range(120))
+        for i, x_row in events[:5]:
+            np.testing.assert_array_equal(x_row, cohort.x[i])
+
 
 class TestABTest:
     def _oracle_policy(self, platform):

@@ -51,6 +51,10 @@ class TestGreedyAllocation:
         with pytest.raises(ValueError, match="budget"):
             greedy_allocation(np.array([0.5]), np.array([1.0]), budget=-1.0)
 
+    def test_nan_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            greedy_allocation(np.array([0.5]), np.array([1.0]), budget=float("nan"))
+
     @given(st.integers(min_value=1, max_value=60), st.floats(min_value=0, max_value=30))
     @settings(max_examples=40, deadline=None)
     def test_feasibility_property(self, n, budget):
@@ -77,6 +81,52 @@ class TestGreedyAllocation:
         base = greedy_allocation(scores, costs, budget)
         scaled = greedy_allocation(scores, costs * scale, budget * scale)
         np.testing.assert_array_equal(base.selected, scaled.selected)
+
+
+def _reference_scan(scores, costs, budget):
+    """The original per-item skip-and-continue scan, as ground truth."""
+    order = np.argsort(-scores, kind="stable")
+    selected = np.zeros(scores.shape[0], dtype=bool)
+    remaining = float(budget)
+    for i in order:
+        if costs[i] <= remaining:
+            selected[i] = True
+            remaining -= float(costs[i])
+    return selected
+
+
+class TestCumsumFastPath:
+    def test_fast_path_hit_on_sorted_fitting_inputs(self):
+        scores = np.linspace(1.0, 0.0, 100)
+        costs = np.ones(100)
+        result = greedy_allocation(scores, costs, budget=50.0)
+        assert result.path == "fast_path"
+        assert result.n_selected == 50
+        np.testing.assert_array_equal(result.selected[:50], True)
+
+    def test_scan_fallback_when_skipping_pays(self):
+        scores = np.array([0.9, 0.8, 0.7])
+        costs = np.array([10.0, 1.0, 1.0])
+        result = greedy_allocation(scores, costs, budget=2.0)
+        assert result.path == "scan_fallback"
+        np.testing.assert_array_equal(result.selected, [False, True, True])
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0.0, max_value=1.2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equivalent_to_reference_scan(self, seed, budget_frac):
+        """Fast path + fallback reproduce the per-item scan exactly."""
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(1, 120))
+        scores = gen.random(n)
+        costs = gen.random(n) * 2.0 + 0.05
+        budget = budget_frac * float(np.sum(costs))
+        result = greedy_allocation(scores, costs, budget)
+        np.testing.assert_array_equal(
+            result.selected, _reference_scan(scores, costs, budget)
+        )
 
 
 class TestGreedyByRoi:

@@ -17,6 +17,7 @@ SUBPACKAGES = (
     "repro.linear",
     "repro.metrics",
     "repro.nn",
+    "repro.serving",
     "repro.trees",
     "repro.utils",
 )
@@ -24,7 +25,7 @@ SUBPACKAGES = (
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -41,6 +42,10 @@ class TestTopLevel:
             "greedy_allocation",
             "ABTest",
             "Platform",
+            "ModelRegistry",
+            "ScoringEngine",
+            "BudgetPacer",
+            "TrafficReplay",
         ):
             assert hasattr(repro, name)
 
