@@ -1,0 +1,184 @@
+"""A/B harness at production scale: 100k-user days, 1M-user days.
+
+The pre-PR offline experiment path realised each arm separately: a
+9-array ``subset`` copy per arm, then a ``realize_arm`` that validated
+the treatment order with O(n) Python sets and drew full-cohort
+Bernoulli outcomes per arm.  The batched path
+(:meth:`Platform.realize_arms`) realises every arm of a day with one
+cost draw, one reward draw over the treated union, and a searchsorted
+spend-down per arm — no cohort copies, no Python-object churn.
+
+Three measurements:
+
+* **realisation stage** — the code this PR replaced, on identical
+  partitions/orders/budgets of the same 100k-user cohort.  This is the
+  ≥10x claim (the frozen pre-PR implementation is inlined below, with
+  its *old* budget-boundary semantics, so the comparison is
+  apples-to-apples with what actually shipped).
+* **full day evaluation** — partition + score + realise, old loop vs
+  :meth:`ABTest.run_day`, cohort generation excluded (both paths share
+  the simulator's generation physics).
+* **1M-user day end-to-end** — ``ABTest.run(1, 1_000_000)`` through
+  chunked cohort generation; the pre-PR path materialised oversample
+  pools several times the cohort, the chunked path bounds peak memory
+  to ~one chunk + the cohort.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import print_header
+from repro.ab.experiment import RANDOM_ARM, ABTest
+from repro.ab.platform import Platform
+
+N_DAY = 100_000
+N_MILLION = 1_000_000
+BUDGET_FRACTION = 0.3
+REPEATS = 15
+
+
+def _policies():
+    rng = np.random.default_rng(11)
+    w_a, w_b = rng.normal(size=12) * 0.1, rng.normal(size=12) * 0.1
+    return {"a": lambda x: x @ w_a, "b": lambda x: x @ w_b}
+
+
+# ---------------------------------------------------------------------------
+# the frozen pre-PR implementation (verbatim semantics, incl. the
+# budget-boundary bug this PR fixed: the crossing draw was treated)
+# ---------------------------------------------------------------------------
+def _prepr_realize_arm(platform, cohort, treat_order, budget):
+    n = cohort.n
+    order = np.asarray(treat_order, dtype=np.int64).ravel()
+    if order.shape[0] != n or set(order.tolist()) != set(range(n)):
+        raise ValueError("treat_order must be a permutation of the cohort indices")
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    cost_draw = (platform._rng.random(n) < cohort.tau_c).astype(float)
+    reward_draw = (platform._rng.random(n) < cohort.tau_r).astype(float)
+    costs_in_order = cost_draw[order]
+    cumulative = np.cumsum(costs_in_order)
+    exhausted = np.nonzero(cumulative >= budget)[0]
+    n_treated = int(exhausted[0]) + 1 if exhausted.size else n
+    treated_idx = order[:n_treated]
+    spend = float(cumulative[n_treated - 1]) if n_treated > 0 else 0.0
+    incremental = float(np.sum(reward_draw[treated_idx]))
+    baseline = float(n * platform.base_revenue_rate)
+    return {
+        "revenue": baseline + incremental,
+        "baseline_revenue": baseline,
+        "incremental_revenue": incremental,
+        "spend": spend,
+        "n_treated": n_treated,
+    }
+
+
+def _prepr_run_day(platform, cohort, policies, rng):
+    """The pre-PR ABTest.run day body (per-arm subsets + realize_arm)."""
+    arms = list(policies) + [RANDOM_ARM]
+    per_arm = cohort.n // len(arms)
+    perm = rng.permutation(cohort.n)
+    out = {}
+    for a, arm in enumerate(arms):
+        idx = perm[a * per_arm : (a + 1) * per_arm]
+        group = cohort.subset(idx)
+        budget = BUDGET_FRACTION * float(np.sum(group.tau_c))
+        if arm == RANDOM_ARM:
+            order = rng.permutation(group.n)
+        else:
+            scores = np.asarray(policies[arm](group.x), dtype=float).ravel()
+            order = np.argsort(-scores, kind="stable")
+        out[arm] = _prepr_realize_arm(platform, group, order, budget)
+    return out
+
+
+def _time(fn, repeats=REPEATS):
+    fn()  # warm-up
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def test_realisation_stage_10x(benchmark) -> None:
+    """Batched realize_arms >= 10x the pre-PR per-arm realisation."""
+    platform = Platform(dataset="criteo", random_state=0)
+    cohort = platform.daily_cohort(N_DAY, day=1)
+    rng = np.random.default_rng(0)
+    n_arms = 3
+    perm = rng.permutation(cohort.n)
+    groups = np.array_split(perm, n_arms)
+    local_orders = [rng.permutation(len(g)) for g in groups]
+    budgets = [BUDGET_FRACTION * float(np.sum(cohort.tau_c[g])) for g in groups]
+    global_orders = [g[lo] for g, lo in zip(groups, local_orders)]
+
+    def old_stage():
+        return [
+            _prepr_realize_arm(platform, cohort.subset(g), lo, b)
+            for g, lo, b in zip(groups, local_orders, budgets)
+        ]
+
+    def new_stage():
+        return platform.realize_arms(cohort, global_orders, budgets)
+
+    t_old = _time(old_stage)
+    t_new = benchmark.pedantic(lambda: (new_stage(), _time(new_stage))[1], rounds=1, iterations=1)
+    speedup = t_old / t_new
+
+    print_header(f"A/B realisation stage — {N_DAY:,}-user day, {n_arms} arms")
+    print(f"  pre-PR (per-arm subset + realize_arm): {t_old * 1e3:8.2f} ms")
+    print(f"  batched realize_arms:                  {t_new * 1e3:8.2f} ms")
+    print(f"  speedup: {speedup:.1f}x  (>= 10x required)")
+
+    # same partitions, same budgets: outcomes must agree structurally
+    for out, budget in zip(new_stage(), budgets):
+        assert out["spend"] <= budget
+    assert speedup >= 10.0
+
+
+def test_full_day_evaluation(benchmark) -> None:
+    """Partition + score + realise, old loop vs ABTest.run_day."""
+    platform = Platform(dataset="criteo", random_state=0)
+    cohort = platform.daily_cohort(N_DAY, day=1)
+    policies = _policies()
+    ab = ABTest(platform, policies, budget_fraction=BUDGET_FRACTION, random_state=0)
+    rng = np.random.default_rng(0)
+
+    t_old = _time(lambda: _prepr_run_day(platform, cohort, policies, rng))
+    t_new = benchmark.pedantic(
+        lambda: _time(lambda: ab.run_day(cohort, day=1)), rounds=1, iterations=1
+    )
+    speedup = t_old / t_new
+
+    print_header(f"A/B full-day evaluation — {N_DAY:,}-user day (cohort gen excluded)")
+    print(f"  pre-PR day loop:  {t_old * 1e3:8.2f} ms")
+    print(f"  ABTest.run_day:   {t_new * 1e3:8.2f} ms")
+    print(f"  speedup: {speedup:.1f}x")
+    assert speedup >= 2.0
+
+
+def test_million_user_day_end_to_end(benchmark) -> None:
+    """A 1M-user day completes through chunked cohort generation."""
+    platform = Platform(dataset="criteo", random_state=0)
+    ab = ABTest(platform, _policies(), budget_fraction=BUDGET_FRACTION, random_state=0)
+
+    def run():
+        t0 = time.perf_counter()
+        result = ab.run(n_days=1, cohort_size=N_MILLION)
+        return result, time.perf_counter() - t0
+
+    result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    day = result.days[0]
+    n_treated = sum(day.n_treated.values())
+
+    print_header(f"A/B 1M-user day — end-to-end (chunked generation + batched realisation)")
+    print(f"  wall time:  {elapsed:6.2f} s   ({N_MILLION / elapsed:,.0f} users/s)")
+    print(f"  treated:    {n_treated:,} users, spend {sum(day.spend.values()):,.0f}")
+    assert set(day.revenue) == {"a", "b", RANDOM_ARM}
+    assert n_treated > 0
+    assert elapsed < 60.0

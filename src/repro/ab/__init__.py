@@ -5,10 +5,22 @@ short-video platform's incentivized-advertising traffic.  That
 platform is simulated here: daily user cohorts, random assignment of
 each cohort across policy arms, budget-constrained incentive
 allocation (Algorithm 1 semantics: rank by the arm's predicted ROI,
-spend until the budget is gone), and stochastic realised outcomes from
-the ground-truth effects.  The reported metric matches Fig. 6:
+spend down the budget), and stochastic realised outcomes from the
+ground-truth effects.  The reported metric matches Fig. 6:
 incremental revenue percentage of each model arm over the random
 control arm, per day.
+
+Budget boundary: realised spend obeys the C-BTAP constraint strictly —
+the draw whose cost would make cumulative spend reach or cross an
+arm's budget is never made, so ``spend <= budget`` always (strictly
+below any positive budget) and a zero budget treats nobody.
+
+Scale: the whole day path is batched (one permutation partitions the
+arms, one Bernoulli draw realises them via
+:meth:`Platform.realize_arms`) and cohorts larger than the platform's
+``chunk_size`` are generated chunk-by-chunk (peak memory ~2x the
+cohort), so ``ABTest.run(n_days, cohort_size=1_000_000)`` runs in
+seconds without materialising multi-``n`` oversample pools.
 """
 
 from repro.ab.experiment import ABTest, ABTestResult, DayResult

@@ -2,10 +2,22 @@
 
 Each day's cohort is randomly partitioned across the arms (DRP, rDRP,
 Random Control in the paper — any mapping of name → scoring policy
-here).  Every arm receives the same per-user reward budget; arms
-differ only in the ordering they treat users in.  The reported series
-is each model arm's incremental revenue percentage over the random
-control arm, per day — exactly the quantity plotted in Fig. 6.
+here).  Every cohort user lands in exactly one arm (a non-divisible
+cohort spreads its remainder over the first arms).  Every arm receives
+the same per-user reward budget; arms differ only in the ordering they
+treat users in.  The reported series is each model arm's *per-user*
+incremental revenue percentage over the random control arm, per day —
+exactly the quantity plotted in Fig. 6 (identical to the raw revenue
+ratio when arm sizes are equal, and unbiased by the one-user size
+difference a remainder introduces).
+
+The day loop is fully batched: arms are partitioned by one
+permutation, scored on feature slices, and realised together through
+:meth:`Platform.realize_arms` (one Bernoulli draw for all arms, a
+searchsorted spend-down per arm) — no per-arm cohort copies.  Combined
+with the platform's chunked cohort generation this makes
+``run(n_days, cohort_size=1_000_000)`` practical; realised spend obeys
+the strict budget boundary (``spend <= budget`` always).
 """
 
 from __future__ import annotations
@@ -28,21 +40,31 @@ Policy = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class DayResult:
-    """Per-day realised outcomes per arm."""
+    """Per-day realised outcomes per arm.
+
+    ``n_users`` records each arm's group size; a non-divisible cohort
+    makes the groups differ by one, and the per-user normalisation in
+    :attr:`ABTestResult.uplift_vs_random` relies on these sizes to keep
+    the comparison unbiased.  (Empty only for legacy records.)
+    """
 
     day: int
     revenue: dict[str, float]
     incremental_revenue: dict[str, float]
     spend: dict[str, float]
     n_treated: dict[str, int]
+    n_users: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
 class ABTestResult:
     """Full A/B test record.
 
-    ``uplift_vs_random[arm]`` is the Fig.-6 series: the arm's revenue
-    increase over the random arm, in percent, for each day.
+    ``uplift_vs_random[arm]`` is the Fig.-6 series: the arm's *per-user*
+    revenue increase over the random arm, in percent, for each day.
+    With equal arm sizes this is exactly the raw revenue ratio the paper
+    plots; per-user normalisation keeps it unbiased when a remainder
+    user makes group sizes differ by one.
     """
 
     days: list[DayResult] = field(default_factory=list)
@@ -55,11 +77,14 @@ class ABTestResult:
     def uplift_vs_random(self) -> dict[str, list[float]]:
         out: dict[str, list[float]] = {}
         for day in self.days:
-            random_revenue = day.revenue[RANDOM_ARM]
-            for arm, revenue in day.revenue.items():
+            def per_user(arm: str) -> float:
+                return day.revenue[arm] / max(day.n_users.get(arm, 1), 1)
+
+            random_revenue = per_user(RANDOM_ARM)
+            for arm in day.revenue:
                 if arm == RANDOM_ARM:
                     continue
-                pct = (revenue / max(random_revenue, 1e-9) - 1.0) * 100.0
+                pct = (per_user(arm) / max(random_revenue, 1e-9) - 1.0) * 100.0
                 out.setdefault(arm, []).append(pct)
         return out
 
@@ -104,51 +129,64 @@ class ABTest:
         self.budget_fraction = float(budget_fraction)
         self._rng = as_generator(random_state)
 
+    def _check_cohort_size(self, cohort_size: int, n_arms: int) -> None:
+        if cohort_size // n_arms < 10:
+            raise ValueError(
+                f"cohort_size {cohort_size} too small for {n_arms} arms; need >= {10 * n_arms}"
+            )
+
     def run(self, n_days: int = 5, cohort_size: int = 3000) -> ABTestResult:
         """Execute the experiment (five days in the paper's setups)."""
         if n_days < 1:
             raise ValueError(f"n_days must be >= 1, got {n_days}")
-        arms = list(self.policies) + [RANDOM_ARM]
-        n_arms = len(arms)
-        per_arm = cohort_size // n_arms
-        if per_arm < 10:
-            raise ValueError(
-                f"cohort_size {cohort_size} too small for {n_arms} arms; need >= {10 * n_arms}"
-            )
+        self._check_cohort_size(cohort_size, len(self.policies) + 1)
         result = ABTestResult()
         for day in range(1, n_days + 1):
             cohort = self.platform.daily_cohort(cohort_size, day)
-            perm = self._rng.permutation(cohort.n)
-            revenue: dict[str, float] = {}
-            incremental: dict[str, float] = {}
-            spend: dict[str, float] = {}
-            n_treated: dict[str, int] = {}
-            for a, arm in enumerate(arms):
-                idx = perm[a * per_arm : (a + 1) * per_arm]
-                group = cohort.subset(idx)
-                budget = self.budget_fraction * float(np.sum(group.tau_c))
-                if arm == RANDOM_ARM:
-                    order = self._rng.permutation(group.n)
-                else:
-                    scores = np.asarray(self.policies[arm](group.x), dtype=float).ravel()
-                    if scores.shape[0] != group.n:
-                        raise ValueError(
-                            f"Policy {arm!r} returned {scores.shape[0]} scores "
-                            f"for {group.n} users"
-                        )
-                    order = np.argsort(-scores, kind="stable")
-                outcome = self.platform.realize_arm(group, order, budget)
-                revenue[arm] = outcome["revenue"]
-                incremental[arm] = outcome["incremental_revenue"]
-                spend[arm] = outcome["spend"]
-                n_treated[arm] = outcome["n_treated"]
-            result.days.append(
-                DayResult(
-                    day=day,
-                    revenue=revenue,
-                    incremental_revenue=incremental,
-                    spend=spend,
-                    n_treated=n_treated,
-                )
-            )
+            result.days.append(self.run_day(cohort, day))
         return result
+
+    def run_day(self, cohort, day: int) -> DayResult:
+        """Evaluate one day's cohort across every arm (the batched path).
+
+        Partition, score, and realise in array ops: one permutation
+        splits the cohort (every index lands in exactly one arm — a
+        remainder spreads one extra user over the leading arms), each
+        model policy scores only its own arm's feature slice, and all
+        arms realise together through one
+        :meth:`Platform.realize_arms` call.  Useful directly when
+        replaying a fixed cohort against several policy sets.
+        """
+        arms = list(self.policies) + [RANDOM_ARM]
+        n_arms = len(arms)
+        self._check_cohort_size(cohort.n, n_arms)
+        # array_split spreads the remainder over the leading parts, so
+        # every cohort index lands in exactly one arm
+        groups = np.array_split(self._rng.permutation(cohort.n), n_arms)
+        sizes = [g.shape[0] for g in groups]
+
+        orders: list[np.ndarray] = []
+        budgets: list[float] = []
+        for arm, idx in zip(arms, groups):
+            budgets.append(self.budget_fraction * float(np.sum(cohort.tau_c[idx])))
+            if arm == RANDOM_ARM:
+                orders.append(self._rng.permutation(idx))
+            else:
+                scores = np.asarray(self.policies[arm](cohort.x[idx]), dtype=float).ravel()
+                if scores.shape[0] != idx.shape[0]:
+                    raise ValueError(
+                        f"Policy {arm!r} returned {scores.shape[0]} scores "
+                        f"for {idx.shape[0]} users"
+                    )
+                orders.append(idx[np.argsort(-scores, kind="stable")])
+        outcomes = self.platform.realize_arms(cohort, orders, budgets)
+        return DayResult(
+            day=day,
+            revenue={arm: outcomes[a]["revenue"] for a, arm in enumerate(arms)},
+            incremental_revenue={
+                arm: outcomes[a]["incremental_revenue"] for a, arm in enumerate(arms)
+            },
+            spend={arm: outcomes[a]["spend"] for a, arm in enumerate(arms)},
+            n_treated={arm: outcomes[a]["n_treated"] for a, arm in enumerate(arms)},
+            n_users={arm: int(sizes[a]) for a, arm in enumerate(arms)},
+        )

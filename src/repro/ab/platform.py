@@ -4,12 +4,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.allocation import spend_down_prefix
 from repro.data.rct import RCTDataset
-from repro.data.settings import load_dataset
+from repro.data.settings import iter_dataset_chunks, load_dataset
 from repro.data.shift import exponential_tilt_shift
 from repro.utils.rng import as_generator
 
 __all__ = ["Platform"]
+
+
+def _check_arm_indices(order: np.ndarray, n: int) -> None:
+    """Validate arm indices in O(n) array ops (no Python-object churn):
+    in range and hitting no user twice.  Arms of a partitioned day are
+    disjoint but need not cover the cohort; a full-length array passing
+    this check is necessarily a permutation of ``range(n)``.
+    """
+    if order.size == 0:
+        return
+    if int(order.min()) < 0 or int(order.max()) >= n:
+        raise ValueError("treat_order indices out of range — must be a permutation subset of the cohort indices")
+    if int(np.bincount(order, minlength=n).max()) > 1:
+        raise ValueError("treat_order repeats cohort indices — arms must be a permutation / disjoint")
 
 
 class Platform:
@@ -31,6 +46,13 @@ class Platform:
     base_revenue_rate:
         Baseline (untreated) revenue probability per user — the
         denominator traffic every arm shares.
+    chunk_size:
+        Cohorts larger than this are generated chunk-by-chunk
+        (:func:`repro.data.settings.iter_dataset_chunks`), bounding
+        peak memory to a small constant multiple of the cohort (~2x:
+        the accumulated chunks plus the concatenated output) instead
+        of the one-shot path's multiple-``n`` oversample pool — what
+        makes million-user days feasible.
     random_state:
         Seed/generator for cohort draws and outcome realisation.
     """
@@ -42,17 +64,21 @@ class Platform:
         shift_strength: float = 1.2,
         day_effect: float = 0.1,
         base_revenue_rate: float = 0.25,
+        chunk_size: int = 200_000,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
         if not 0.0 <= day_effect < 1.0:
             raise ValueError(f"day_effect must be in [0, 1), got {day_effect}")
         if not 0.0 < base_revenue_rate < 1.0:
             raise ValueError(f"base_revenue_rate must be in (0, 1), got {base_revenue_rate}")
+        if chunk_size < 50:
+            raise ValueError(f"chunk_size must be >= 50, got {chunk_size}")
         self.dataset = dataset
         self.shifted = bool(shifted)
         self.shift_strength = float(shift_strength)
         self.day_effect = float(day_effect)
         self.base_revenue_rate = float(base_revenue_rate)
+        self.chunk_size = int(chunk_size)
         self._rng = as_generator(random_state)
 
     def daily_cohort(self, n: int, day: int) -> RCTDataset:
@@ -67,6 +93,18 @@ class Platform:
             raise ValueError(f"cohort size must be >= 3, got {n}")
         if day < 1:
             raise ValueError(f"day must be >= 1, got {day}")
+        if n <= self.chunk_size:
+            cohort = self._draw_cohort_oneshot(n)
+        else:
+            cohort = self._draw_cohort_chunked(n)
+        # deterministic day-of-week multiplier on the effects
+        multiplier = 1.0 + self.day_effect * np.sin(2.0 * np.pi * day / 7.0)
+        cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
+        cohort.tau_c = np.clip(cohort.tau_c * multiplier, 1e-6, None)
+        return cohort
+
+    def _draw_cohort_oneshot(self, n: int) -> RCTDataset:
+        """Single-pool draw for cohorts that fit in one chunk."""
         # meituan's binarisation keeps ~40% of generated rows; the tilt
         # keeps the requested fraction of its pool — oversample for both
         # so the cohort always has exactly n users, doubling the factor
@@ -99,11 +137,63 @@ class Platform:
             )
         if cohort.n > n:
             cohort = cohort.subset(np.arange(n))
-        # deterministic day-of-week multiplier on the effects
-        multiplier = 1.0 + self.day_effect * np.sin(2.0 * np.pi * day / 7.0)
-        cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
-        cohort.tau_c = np.clip(cohort.tau_c * multiplier, 1e-6, None)
         return cohort
+
+    def _draw_cohort_chunked(self, n: int) -> RCTDataset:
+        """Chunked draw: peak memory ~2x the cohort (accumulated chunks
+        plus the concatenated output; pool chunks on the shifted path
+        are ``2 * chunk_size`` rows), never a multiple-``n`` oversample
+        pool.
+
+        Unshifted chunks stream straight from
+        :func:`~repro.data.settings.iter_dataset_chunks`; shifted
+        cohorts tilt each pool chunk down to half, which targets the
+        same shifted marginal as one global tilt (the tilt weights are
+        i.i.d. functions of each row's features).
+        """
+        parts: list[RCTDataset] = []
+        have = 0
+        if self.shifted:
+            for attempt in range(5):
+                need = n - have
+                if need <= 0:
+                    break
+                # 2:1 pool:output ratio, same as the one-shot path
+                for pool in iter_dataset_chunks(
+                    self.dataset,
+                    2 * need,
+                    chunk_size=2 * self.chunk_size,
+                    random_state=self._rng,
+                ):
+                    if pool.n < 2:
+                        continue
+                    kept = exponential_tilt_shift(
+                        pool,
+                        strength=self.shift_strength,
+                        n_out=pool.n // 2,
+                        random_state=self._rng,
+                    )
+                    parts.append(kept)
+                    have += kept.n
+                    if have >= n:
+                        break
+            if have < n:
+                raise RuntimeError(
+                    f"Chunked shifted cohort generation produced {have} < {n} users"
+                )
+        else:
+            for chunk in iter_dataset_chunks(
+                self.dataset, n, chunk_size=self.chunk_size, random_state=self._rng
+            ):
+                parts.append(chunk)
+                have += chunk.n
+                if have >= n:
+                    break
+        overshoot = have - n
+        if overshoot > 0:
+            # trim the tail chunk so concat materialises exactly n rows
+            parts[-1] = parts[-1].subset(np.arange(parts[-1].n - overshoot))
+        return RCTDataset.concat(parts)
 
     def iter_events(
         self,
@@ -141,11 +231,20 @@ class Platform:
 
         Users are treated strictly in ``treat_order``; each treated
         user's *realised* incremental cost (a Bernoulli draw with
-        probability ``tau_c``) accrues against the budget, and treating
-        stops once the budget is exhausted — the platform semantics of
-        "allocate ... until the budget B is reached" (Algorithm 1 line
-        2).  Costs are not known before treating, so there is no
-        skip-ahead: the policy's only lever is the *order*.
+        probability ``tau_c``) accrues against the budget — the
+        platform semantics of "allocate ... until the budget B is
+        reached" (Algorithm 1 line 2).  Costs are not known before
+        treating, so there is no skip-ahead: the policy's only lever is
+        the *order*.
+
+        Budget boundary (the C-BTAP constraint, enforced strictly):
+        treating stops *before* the draw whose cost would make
+        cumulative spend reach or cross ``budget`` — the platform never
+        authorises a spend it cannot cover.  Realised ``spend`` is
+        therefore always ``<= budget`` (strictly below any positive
+        budget), and ``budget=0`` treats nobody.  Implemented as one
+        batched Bernoulli draw plus a searchsorted spend-down
+        (:func:`repro.core.allocation.spend_down_prefix`).
 
         Returns
         -------
@@ -154,35 +253,106 @@ class Platform:
             ``baseline_revenue``, ``incremental_revenue``,
             ``spend`` and ``n_treated``.
         """
-        n = cohort.n
         order = np.asarray(treat_order, dtype=np.int64).ravel()
-        if order.shape[0] != n or set(order.tolist()) != set(range(n)):
+        # length here + the in-range/no-duplicate checks in realize_arms
+        # together demand a full permutation (pigeonhole)
+        if order.shape[0] != cohort.n:
             raise ValueError("treat_order must be a permutation of the cohort indices")
-        if budget < 0:
+        if not budget >= 0:  # rejects NaN too
             raise ValueError(f"budget must be >= 0, got {budget}")
+        # one full-cohort arm: same draws, same boundary, one code path
+        return self.realize_arms(cohort, [order], [budget])[0]
 
-        cost_draw = (self._rng.random(n) < cohort.tau_c).astype(float)
-        reward_draw = (self._rng.random(n) < cohort.tau_r).astype(float)
+    def realize_arms(
+        self,
+        cohort: RCTDataset,
+        orders: "list[np.ndarray] | tuple[np.ndarray, ...]",
+        budgets: "np.ndarray | list[float]",
+    ) -> list[dict]:
+        """Realise *all* arms of a day in one batched pass.
 
-        # vectorised sequential spend-down: treat the order's prefix whose
-        # cumulative realised cost first reaches the budget
-        costs_in_order = cost_draw[order]
-        cumulative = np.cumsum(costs_in_order)
-        exhausted = np.nonzero(cumulative >= budget)[0]
-        n_treated = int(exhausted[0]) + 1 if exhausted.size else n
-        treated_idx = order[:n_treated]
-        spend = float(cumulative[n_treated - 1]) if n_treated > 0 else 0.0
-        incremental = float(np.sum(reward_draw[treated_idx]))
-        # The baseline is the *expected* untreated revenue of the group.
-        # The real platform serves millions of users per day, so the
-        # relative noise of the realised baseline is negligible; drawing
-        # it per-user at simulator scale would bury the policy effect in
-        # binomial noise that the production metric does not have.
-        baseline = float(n * self.base_revenue_rate)
-        return {
-            "revenue": baseline + incremental,
-            "baseline_revenue": baseline,
-            "incremental_revenue": incremental,
-            "spend": spend,
-            "n_treated": n_treated,
-        }
+        The vectorised counterpart of calling :meth:`realize_arm` once
+        per arm on per-arm ``subset`` copies: a single Bernoulli cost
+        draw covers every arm, each arm's spend-down is one
+        searchsorted over its contiguous segment, and reward draws are
+        batched over the union of treated users.  No cohort copies, no
+        per-user (or per-arm O(n) Python) work — this is what makes
+        million-user A/B days array-speed.
+
+        Parameters
+        ----------
+        cohort:
+            The day's full cohort.
+        orders:
+            One index array per arm, each listing *cohort* indices in
+            that arm's treatment order.  Arms must be disjoint (a user
+            sees one arm); together they need not cover the cohort.
+        budgets:
+            Per-arm budgets, aligned with ``orders``.
+
+        Returns
+        -------
+        list of dict
+            Per-arm outcome dicts with the same keys and the same
+            strict budget-boundary semantics as :meth:`realize_arm`
+            (``spend <= budget`` always; ``budget=0`` treats nobody).
+        """
+        budgets = np.asarray(budgets, dtype=float).ravel()
+        if len(orders) != budgets.shape[0]:
+            raise ValueError(
+                f"{len(orders)} orders but {budgets.shape[0]} budgets"
+            )
+        if np.any(budgets < 0) or np.any(np.isnan(budgets)):
+            raise ValueError("budgets must all be >= 0")
+        n = cohort.n
+        orders = [np.asarray(o, dtype=np.int64).ravel() for o in orders]
+        sizes = np.array([o.shape[0] for o in orders], dtype=np.int64)
+        order_all = (
+            np.concatenate(orders) if orders else np.empty(0, dtype=np.int64)
+        )
+        _check_arm_indices(order_all, n)
+
+        # one batched Bernoulli cost draw across every arm, in order
+        costs_in_order = self._rng.random(order_all.shape[0]) < cohort.tau_c[order_all]
+        starts = np.concatenate(([0], np.cumsum(sizes)))
+
+        outcomes: list[dict] = []
+        treated_parts: list[np.ndarray] = []
+        for a in range(len(orders)):
+            segment = costs_in_order[starts[a] : starts[a + 1]]
+            k, cumulative = spend_down_prefix(
+                segment, float(budgets[a]), stop_before_crossing=True
+            )
+            spend = float(cumulative[k - 1]) if k > 0 else 0.0
+            treated_parts.append(order_all[starts[a] : starts[a] + k])
+            # The baseline is the *expected* untreated revenue of the
+            # group.  The real platform serves millions of users per
+            # day, so the relative noise of the realised baseline is
+            # negligible; drawing it per-user at simulator scale would
+            # bury the policy effect in binomial noise that the
+            # production metric does not have.
+            baseline = float(sizes[a] * self.base_revenue_rate)
+            outcomes.append(
+                {
+                    "revenue": baseline,  # incremental added below
+                    "baseline_revenue": baseline,
+                    "incremental_revenue": 0.0,
+                    "spend": spend,
+                    "n_treated": int(k),
+                }
+            )
+
+        # batched reward draw over the union of treated users
+        treated_all = (
+            np.concatenate(treated_parts)
+            if treated_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        reward_draw = self._rng.random(treated_all.shape[0]) < cohort.tau_r[treated_all]
+        pos = 0
+        for a, part in enumerate(treated_parts):
+            incremental = float(np.count_nonzero(reward_draw[pos : pos + part.shape[0]]))
+            pos += part.shape[0]
+            outcomes[a]["incremental_revenue"] = incremental
+            outcomes[a]["revenue"] += incremental
+        return outcomes

@@ -17,6 +17,7 @@ from repro.core.allocation import (
     AllocationResult,
     greedy_allocation,
     greedy_allocation_by_roi,
+    spend_down_prefix,
 )
 from repro.core.calibration import (
     CALIBRATION_FORMS,
@@ -65,4 +66,5 @@ __all__ = [
     "greedy_allocation",
     "greedy_allocation_by_roi",
     "prediction_interval",
+    "spend_down_prefix",
 ]

@@ -15,7 +15,57 @@ import numpy as np
 
 from repro.utils.validation import check_1d, check_consistent_length
 
-__all__ = ["AllocationResult", "greedy_allocation", "greedy_allocation_by_roi"]
+__all__ = [
+    "AllocationResult",
+    "greedy_allocation",
+    "greedy_allocation_by_roi",
+    "spend_down_prefix",
+]
+
+
+def spend_down_prefix(
+    costs_in_order: np.ndarray,
+    budget: float,
+    *,
+    stop_before_crossing: bool = False,
+) -> tuple[int, np.ndarray]:
+    """Length of the affordable prefix of a cost sequence, via one cumsum.
+
+    The single spend-down primitive shared by the planning solver
+    (:func:`greedy_allocation`) and the realisation path
+    (:meth:`repro.ab.platform.Platform.realize_arm`), replacing their
+    per-call scans with ``cumsum`` + ``searchsorted``.
+
+    Parameters
+    ----------
+    costs_in_order:
+        Non-negative costs in the order they would be incurred.
+    budget:
+        Budget limit B (>= 0).
+    stop_before_crossing:
+        * ``False`` (planning): the longest prefix whose cumulative
+          cost is ``<= budget`` — costs are known up front, so an item
+          that exactly exhausts B is still affordable.
+        * ``True`` (realisation): stop *before* the item whose cost
+          would make cumulative spend reach or cross B, so realised
+          spend stays strictly below any positive budget and
+          ``budget=0`` admits nobody.  This is the platform semantics:
+          a cost is only discovered by incurring it, and the platform
+          never authorises a spend it cannot cover.
+
+    Returns
+    -------
+    (k, cumulative):
+        ``k`` — prefix length; ``cumulative`` — the full running-cost
+        array (``cumulative[k - 1]`` is the prefix spend when k > 0).
+    """
+    costs_in_order = np.asarray(costs_in_order).ravel()
+    # dtype=float folds the bool→float conversion of Bernoulli cost
+    # draws into the cumsum itself (no intermediate copy)
+    cumulative = np.cumsum(costs_in_order, dtype=np.float64)
+    side = "left" if stop_before_crossing else "right"
+    k = int(np.searchsorted(cumulative, budget, side=side))
+    return k, cumulative
 
 
 @dataclass
@@ -93,20 +143,23 @@ def greedy_allocation(
     order = np.argsort(-roi_scores, kind="stable")
     selected = np.zeros(n, dtype=bool)
     costs_in_order = costs[order]
-    cumulative = np.cumsum(costs_in_order)
     # number of leading individuals whose running total stays within B
-    k = int(np.searchsorted(cumulative, budget, side="right"))
+    k, cumulative = spend_down_prefix(costs_in_order, budget)
     selected[order[:k]] = True
-    remaining = float(budget) - (float(cumulative[k - 1]) if k else 0.0)
-    if k == n or float(np.min(costs_in_order[k:])) > remaining:
+    # accumulated-spend form (spent + c <= B), matching the cumsum's
+    # sequential additions bit-for-bit — a subtractive `remaining`
+    # accumulates different float rounding and can flip decisions at
+    # exact-boundary budgets
+    spent = float(cumulative[k - 1]) if k else 0.0
+    if k == n or float(np.min(costs_in_order[k:])) > budget - spent:
         path = "fast_path"
     else:
         path = "scan_fallback"
         for i in order[k:]:
             c = float(costs[i])
-            if c <= remaining:
+            if spent + c <= budget:
                 selected[i] = True
-                remaining -= c
+                spent += c
     total_cost = float(np.sum(costs[selected]))
     total_reward = float(np.sum(rewards[selected])) if rewards is not None else float("nan")
     return AllocationResult(

@@ -14,7 +14,13 @@ from repro.data.criteo import criteo_uplift_v2
 from repro.data.meituan import meituan_lift
 from repro.data.multi import MultiTreatmentRCT, multi_treatment_rct
 from repro.data.rct import RCTDataset
-from repro.data.settings import SETTING_NAMES, SettingData, load_dataset, make_setting
+from repro.data.settings import (
+    SETTING_NAMES,
+    SettingData,
+    iter_dataset_chunks,
+    load_dataset,
+    make_setting,
+)
 from repro.data.shift import exponential_tilt_shift
 from repro.data.synthetic import SyntheticRCTConfig, generate_rct
 
@@ -29,6 +35,7 @@ __all__ = [
     "criteo_uplift_v2",
     "exponential_tilt_shift",
     "generate_rct",
+    "iter_dataset_chunks",
     "load_dataset",
     "make_setting",
     "meituan_lift",

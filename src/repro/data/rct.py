@@ -72,6 +72,38 @@ class RCTDataset:
     def n_control(self) -> int:
         return int(np.sum(self.t == 0))
 
+    @classmethod
+    def concat(cls, parts: "list[RCTDataset] | tuple[RCTDataset, ...]") -> "RCTDataset":
+        """Row-wise concatenation of compatible samples.
+
+        The building block of chunked cohort generation: draw bounded
+        chunks, keep what each yields, and stitch the kept rows.  The
+        parts and the output coexist while concatenating (peak ~2x the
+        output), but never a multiple-``n`` oversample pool.
+        """
+        if not parts:
+            raise ValueError("concat needs at least one dataset")
+        if len(parts) == 1:
+            return parts[0].subset(np.arange(parts[0].n))
+        first = parts[0]
+        for p in parts[1:]:
+            if p.n_features != first.n_features:
+                raise ValueError(
+                    f"cannot concat {p.n_features}-feature rows onto "
+                    f"{first.n_features}-feature rows"
+                )
+        return cls(
+            x=np.concatenate([p.x for p in parts], axis=0),
+            t=np.concatenate([p.t for p in parts]),
+            y_r=np.concatenate([p.y_r for p in parts]),
+            y_c=np.concatenate([p.y_c for p in parts]),
+            tau_r=np.concatenate([p.tau_r for p in parts]),
+            tau_c=np.concatenate([p.tau_c for p in parts]),
+            roi=np.concatenate([p.roi for p in parts]),
+            name=first.name,
+            feature_names=list(first.feature_names),
+        )
+
     def subset(self, idx: np.ndarray) -> "RCTDataset":
         """Row-sliced copy (``idx`` may be a boolean mask or index array)."""
         return RCTDataset(

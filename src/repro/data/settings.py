@@ -28,7 +28,14 @@ from repro.data.rct import RCTDataset
 from repro.data.shift import exponential_tilt_shift
 from repro.utils.rng import as_generator
 
-__all__ = ["SETTING_NAMES", "DATASET_NAMES", "SettingData", "load_dataset", "make_setting"]
+__all__ = [
+    "SETTING_NAMES",
+    "DATASET_NAMES",
+    "SettingData",
+    "iter_dataset_chunks",
+    "load_dataset",
+    "make_setting",
+]
 
 SETTING_NAMES = ("SuNo", "SuCo", "InNo", "InCo")
 DATASET_NAMES = ("criteo", "meituan", "alibaba")
@@ -73,6 +80,68 @@ def load_dataset(
     if name not in _GENERATORS:
         raise ValueError(f"Unknown dataset {name!r}; choose from {DATASET_NAMES}")
     return _GENERATORS[name](n, random_state=random_state)
+
+
+def iter_dataset_chunks(
+    name: str,
+    n: int,
+    chunk_size: int = 250_000,
+    random_state: int | np.random.Generator | None = None,
+):
+    """Yield dataset chunks until at least ``n`` rows have been produced.
+
+    Million-user cohorts cannot afford the one-shot generators' habit of
+    materialising an oversample pool several times the target size (the
+    meituan analog keeps only ~40% of generated rows).  This generator
+    itself holds only one chunk at a time (consumers that accumulate the
+    yielded chunks pay for what they keep): it draws ``chunk_size``-row batches,
+    yields whatever each batch actually produced, and adapts the next
+    request to the yield rate observed so far, so under-producing
+    generators converge in a handful of tail chunks instead of guessing
+    a global oversample factor.
+
+    Parameters
+    ----------
+    name:
+        Dataset analog name (see :data:`DATASET_NAMES`).
+    n:
+        Total rows required across all yielded chunks (the final chunk
+        may overshoot; the consumer trims).
+    chunk_size:
+        Upper bound on any single generator request.
+    random_state:
+        Seed/generator; chunks continue one stream.
+
+    Yields
+    ------
+    RCTDataset
+        Chunks whose row counts sum to >= ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if chunk_size < 50:
+        raise ValueError(f"chunk_size must be >= 50, got {chunk_size}")
+    rng = as_generator(random_state)
+    produced = 0
+    requested = 0
+    n_chunks = 0
+    # generous cap: even a 10%-yield generator fits well inside it
+    max_chunks = 20 * (n // chunk_size + 1) + 10
+    while produced < n:
+        if n_chunks >= max_chunks:
+            raise RuntimeError(
+                f"Chunked generation of {name!r} produced {produced} < {n} "
+                f"rows after {n_chunks} chunks — generator yield too low"
+            )
+        yield_rate = produced / requested if requested else 1.0
+        # floor of 50: every generator accepts it (meituan needs >= 25),
+        # so a tiny tail shortfall can't produce an invalid request
+        request = min(chunk_size, max(50, int(np.ceil((n - produced) / max(yield_rate, 0.05)))))
+        chunk = load_dataset(name, request, random_state=rng)
+        requested += request
+        produced += chunk.n
+        n_chunks += 1
+        yield chunk
 
 
 def make_setting(

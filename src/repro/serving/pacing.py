@@ -63,8 +63,10 @@ class BudgetPacer:
     warmup:
         Arrivals before the first threshold fit; during warmup
         admission is purely curve-gated (score-blind), which buys the
-        window an unbiased traffic sample.  Capped at a quarter of the
-        horizon so short days still engage the threshold.
+        window an unbiased traffic sample.  The arrival that completes
+        warmup triggers the fit and is the first to be threshold-gated.
+        Capped at a quarter of the horizon so short days still engage
+        the threshold.
     target_curve:
         Monotone callable ``progress ∈ [0,1] → fraction of B`` with
         ``curve(1) == 1``; default uniform.
@@ -151,7 +153,10 @@ class BudgetPacer:
         cap = min(self.budget, curve_cap)
         if self.spent + cost > cap:
             return False
-        if self.n_seen > self.warmup and score < self.threshold_:
+        # same boundary as the _refresh trigger above: the arrival that
+        # completes warmup fits the first threshold and is already
+        # gated by it (a fresh fit must never be ignored)
+        if self.n_seen >= self.warmup and score < self.threshold_:
             return False
         self.n_admitted += 1
         self.spent += cost

@@ -2,14 +2,35 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ab.experiment import RANDOM_ARM, ABTest
 from repro.ab.platform import Platform
+from repro.data.rct import RCTDataset
 
 
 @pytest.fixture
 def platform():
     return Platform(dataset="criteo", random_state=0)
+
+
+def make_cohort(n=80, seed=0, tau_c=None):
+    """A small hand-built cohort with controllable ground-truth costs."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    tau_c = np.full(n, 0.4) if tau_c is None else np.broadcast_to(tau_c, (n,)).copy()
+    tau_r = 0.5 * tau_c
+    return RCTDataset(
+        x=x,
+        t=np.zeros(n, dtype=np.int64),
+        y_r=np.zeros(n),
+        y_c=np.zeros(n),
+        tau_r=tau_r,
+        tau_c=tau_c,
+        roi=tau_r / tau_c,
+        name="toy",
+    )
 
 
 class TestPlatform:
@@ -42,6 +63,41 @@ class TestPlatform:
         assert outcome["n_treated"] >= 1
         assert outcome["revenue"] >= outcome["baseline_revenue"]
 
+    def test_realize_arm_budget_zero_treats_nobody(self, platform):
+        """Regression: budget=0 used to still treat the first user."""
+        cohort = make_cohort(50)
+        out = platform.realize_arm(cohort, np.arange(50), budget=0.0)
+        assert out["n_treated"] == 0
+        assert out["spend"] == 0.0
+        assert out["incremental_revenue"] == 0.0
+        assert out["revenue"] == out["baseline_revenue"]
+
+    def test_realize_arm_exact_boundary_stops_before_crossing(self, platform):
+        """Regression: the draw that reaches B is not made (spend < B)."""
+        # near-certain unit costs make the spend-down deterministic
+        cohort = make_cohort(40, tau_c=1.0 - 1e-12)
+        out = platform.realize_arm(cohort, np.arange(40), budget=5.0)
+        assert out["n_treated"] == 4  # the 5th draw would hit B exactly
+        assert out["spend"] == 4.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        budget=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_realize_arm_never_overspends(self, budget, seed):
+        """Property: spend <= budget always; strictly below when B > 0."""
+        rng = np.random.default_rng(seed)
+        platform = Platform(dataset="criteo", random_state=seed)
+        cohort = make_cohort(60, seed=seed, tau_c=rng.uniform(0.05, 0.95, 60))
+        order = rng.permutation(60)
+        out = platform.realize_arm(cohort, order, budget=budget)
+        assert out["spend"] <= budget
+        if budget == 0.0:
+            assert out["n_treated"] == 0
+        if budget > 0.0:
+            assert out["spend"] < budget
+
     def test_realize_arm_bad_order(self, platform):
         cohort = platform.daily_cohort(50, day=1)
         with pytest.raises(ValueError, match="permutation"):
@@ -51,6 +107,14 @@ class TestPlatform:
         cohort = platform.daily_cohort(50, day=1)
         with pytest.raises(ValueError, match="budget"):
             platform.realize_arm(cohort, np.arange(50), budget=-1.0)
+
+    def test_realize_arm_nan_budget_rejected(self, platform):
+        """NaN would searchsort past every cost and treat the whole arm."""
+        cohort = make_cohort(20)
+        with pytest.raises(ValueError, match="budget"):
+            platform.realize_arm(cohort, np.arange(20), budget=float("nan"))
+        with pytest.raises(ValueError, match="budgets"):
+            platform.realize_arms(cohort, [np.arange(20)], [float("nan")])
 
     def test_invalid_params(self):
         with pytest.raises(ValueError, match="day_effect"):
@@ -120,6 +184,106 @@ class TestPlatform:
             np.testing.assert_array_equal(x_row, cohort.x[i])
 
 
+class TestRealizeArms:
+    def _partition(self, n, n_arms, rng):
+        perm = rng.permutation(n)
+        return np.array_split(perm, n_arms)
+
+    def test_matches_realize_arm_contract(self, platform):
+        cohort = make_cohort(90, seed=1, tau_c=np.linspace(0.1, 0.9, 90))
+        rng = np.random.default_rng(2)
+        orders = self._partition(90, 3, rng)
+        budgets = [3.0, 0.0, 1e9]
+        outs = platform.realize_arms(cohort, orders, budgets)
+        assert len(outs) == 3
+        for out, order, budget in zip(outs, orders, budgets):
+            assert set(out) == {
+                "revenue",
+                "baseline_revenue",
+                "incremental_revenue",
+                "spend",
+                "n_treated",
+            }
+            assert out["spend"] <= budget
+            assert 0 <= out["n_treated"] <= len(order)
+            assert out["revenue"] == pytest.approx(
+                out["baseline_revenue"] + out["incremental_revenue"]
+            )
+        assert outs[1]["n_treated"] == 0  # budget=0 arm treats nobody
+        assert outs[2]["n_treated"] == len(orders[2])  # unbounded arm treats all
+
+    def test_partial_coverage_allowed(self, platform):
+        cohort = make_cohort(100)
+        orders = [np.arange(10), np.arange(50, 70)]
+        outs = platform.realize_arms(cohort, orders, [5.0, 5.0])
+        assert outs[0]["baseline_revenue"] == pytest.approx(10 * platform.base_revenue_rate)
+        assert outs[1]["baseline_revenue"] == pytest.approx(20 * platform.base_revenue_rate)
+
+    def test_overlapping_arms_rejected(self, platform):
+        cohort = make_cohort(30)
+        with pytest.raises(ValueError, match="disjoint"):
+            platform.realize_arms(cohort, [np.arange(10), np.arange(5, 15)], [1.0, 1.0])
+
+    def test_out_of_range_rejected(self, platform):
+        cohort = make_cohort(30)
+        with pytest.raises(ValueError, match="range"):
+            platform.realize_arms(cohort, [np.array([0, 30])], [1.0])
+
+    def test_mismatched_budgets_rejected(self, platform):
+        cohort = make_cohort(30)
+        with pytest.raises(ValueError, match="budgets"):
+            platform.realize_arms(cohort, [np.arange(10)], [1.0, 2.0])
+
+    def test_negative_budget_rejected(self, platform):
+        cohort = make_cohort(30)
+        with pytest.raises(ValueError, match="budgets"):
+            platform.realize_arms(cohort, [np.arange(10)], [-1.0])
+
+    def test_spend_semantics_match_realize_arm(self):
+        """Both paths enforce the same strict boundary on the same draws."""
+        cohort = make_cohort(64, tau_c=1.0 - 1e-12)  # deterministic unit costs
+        p = Platform(dataset="criteo", random_state=0)
+        outs = p.realize_arms(cohort, [np.arange(32), np.arange(32, 64)], [7.0, 3.0])
+        assert [o["n_treated"] for o in outs] == [6, 2]
+        assert [o["spend"] for o in outs] == [6.0, 2.0]
+
+
+class TestChunkedCohorts:
+    def test_chunked_matches_requested_size(self):
+        p = Platform(dataset="criteo", chunk_size=400, random_state=0)
+        cohort = p.daily_cohort(1500, day=2)
+        assert cohort.n == 1500
+        assert cohort.n_features == 12
+        assert np.all(cohort.tau_c > 0)
+
+    def test_chunked_low_yield_generator(self):
+        """meituan keeps ~40% of generated rows; chunking must adapt."""
+        p = Platform(dataset="meituan", chunk_size=300, random_state=0)
+        cohort = p.daily_cohort(1000, day=1)
+        assert cohort.n == 1000
+
+    def test_chunked_shifted_cohort_is_tilted(self):
+        from repro.data.shift import shift_direction
+
+        base = Platform(dataset="criteo", chunk_size=500, random_state=0)
+        shifted = Platform(dataset="criteo", shifted=True, chunk_size=500, random_state=0)
+        c_base = base.daily_cohort(2000, day=1)
+        c_shift = shifted.daily_cohort(2000, day=1)
+        assert c_shift.n == 2000
+        d = shift_direction(c_base)
+        assert float((c_shift.x @ d).mean()) > float((c_base.x @ d).mean()) + 0.15
+
+    def test_chunked_day_effect_applied(self):
+        p = Platform(dataset="criteo", day_effect=0.3, chunk_size=500, random_state=0)
+        day2 = p.daily_cohort(2000, day=2)  # sin(4pi/7) > 0 -> boosted
+        day5 = p.daily_cohort(2000, day=5)  # sin(10pi/7) < 0 -> damped
+        assert day2.tau_r.mean() > day5.tau_r.mean()
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            Platform(chunk_size=5)
+
+
 class TestABTest:
     def _oracle_policy(self, platform):
         """Cheating policy: score by the true ROI (upper bound)."""
@@ -183,3 +347,64 @@ class TestABTest:
     def test_invalid_budget_fraction(self, platform):
         with pytest.raises(ValueError, match="budget_fraction"):
             ABTest(platform, {"a": lambda x: np.ones(len(x))}, budget_fraction=0.0)
+
+    def test_remainder_users_not_discarded(self, platform):
+        """Regression: cohort_size % n_arms users used to be dropped."""
+        policies = {
+            "a": lambda x: np.ones(x.shape[0]),
+            "b": lambda x: -np.ones(x.shape[0]),
+        }
+        test = ABTest(platform, policies, random_state=0)
+        result = test.run(n_days=1, cohort_size=100)  # 100 % 3 == 1
+        day = result.days[0]
+        assert sum(day.n_users.values()) == 100
+        assert sorted(day.n_users.values()) == [33, 33, 34]
+        # the recorded sizes match the realised (expected) baselines
+        for arm in day.revenue:
+            baseline = day.revenue[arm] - day.incremental_revenue[arm]
+            assert baseline == pytest.approx(day.n_users[arm] * platform.base_revenue_rate)
+
+    def test_uplift_normalised_per_user(self):
+        """A remainder user must not bias uplift_vs_random upward."""
+        from repro.ab.experiment import ABTestResult, DayResult
+
+        # identical per-user revenue, one extra user in the model arm:
+        # raw revenue differs, per-user uplift must be exactly zero
+        day = DayResult(
+            day=1,
+            revenue={"m": 50.5, RANDOM_ARM: 50.0},
+            incremental_revenue={"m": 0.0, RANDOM_ARM: 0.0},
+            spend={"m": 0.0, RANDOM_ARM: 0.0},
+            n_treated={"m": 0, RANDOM_ARM: 0},
+            n_users={"m": 101, RANDOM_ARM: 100},
+        )
+        result = ABTestResult(days=[day])
+        assert result.uplift_vs_random["m"][0] == pytest.approx(0.0)
+
+    def test_run_day_on_fixed_cohort(self, platform):
+        policies = {"constant": lambda x: np.ones(x.shape[0])}
+        test = ABTest(platform, policies, random_state=0)
+        cohort = platform.daily_cohort(300, day=1)
+        day = test.run_day(cohort, day=7)
+        assert day.day == 7
+        assert set(day.revenue) == {"constant", RANDOM_ARM}
+        assert all(s >= 0 for s in day.spend.values())
+
+    def test_arm_spend_never_exceeds_budget(self, platform, monkeypatch):
+        """The harness-level view of the strict C-BTAP constraint."""
+        seen_budgets = []
+        real = platform.realize_arms
+
+        def spy(cohort, orders, budgets):
+            seen_budgets.append(list(budgets))
+            return real(cohort, orders, budgets)
+
+        monkeypatch.setattr(platform, "realize_arms", spy)
+        policies = {"a": lambda x: x[:, 0]}
+        test = ABTest(platform, policies, budget_fraction=0.2, random_state=0)
+        result = test.run(n_days=2, cohort_size=400)
+        assert len(seen_budgets) == 2
+        for day, budgets in zip(result.days, seen_budgets):
+            spends = [day.spend[arm] for arm in list(test.policies) + [RANDOM_ARM]]
+            for spend, budget in zip(spends, budgets):
+                assert spend <= budget

@@ -5,7 +5,44 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.allocation import greedy_allocation, greedy_allocation_by_roi
+from repro.core.allocation import (
+    greedy_allocation,
+    greedy_allocation_by_roi,
+    spend_down_prefix,
+)
+
+
+class TestSpendDownPrefix:
+    def test_planning_vs_realisation_semantics(self):
+        costs = np.array([1.0, 1.0, 1.0])
+        # planning: an item that exactly exhausts B is still affordable
+        k, cum = spend_down_prefix(costs, 2.0)
+        assert k == 2
+        np.testing.assert_array_equal(cum, [1.0, 2.0, 3.0])
+        # realisation: stop before the draw that reaches B
+        k, _ = spend_down_prefix(costs, 2.0, stop_before_crossing=True)
+        assert k == 1
+
+    def test_exact_boundary(self):
+        costs = np.array([1.0, 1.0, 1.0])
+        assert spend_down_prefix(costs, 3.0)[0] == 3
+        assert spend_down_prefix(costs, 3.0, stop_before_crossing=True)[0] == 2
+
+    def test_zero_budget(self):
+        costs = np.array([0.0, 0.0, 1.0])
+        # planning admits the free items; realisation admits nobody
+        assert spend_down_prefix(costs, 0.0)[0] == 2
+        assert spend_down_prefix(costs, 0.0, stop_before_crossing=True)[0] == 0
+
+    def test_budget_beyond_total(self):
+        costs = np.array([0.5, 0.5])
+        assert spend_down_prefix(costs, 10.0)[0] == 2
+        assert spend_down_prefix(costs, 10.0, stop_before_crossing=True)[0] == 2
+
+    def test_bool_costs_cumsum_as_float(self):
+        k, cum = spend_down_prefix(np.array([True, False, True]), 1.5, stop_before_crossing=True)
+        assert cum.dtype == np.float64
+        assert k == 2  # spend 1.0 < 1.5; the next paying draw would cross
 
 
 class TestGreedyAllocation:
@@ -84,14 +121,21 @@ class TestGreedyAllocation:
 
 
 def _reference_scan(scores, costs, budget):
-    """The original per-item skip-and-continue scan, as ground truth."""
+    """The original per-item skip-and-continue scan, as ground truth.
+
+    Accumulated-spend form (``spent + c <= budget``): sequential
+    additions match the implementation's cumsum bit-for-bit, so an
+    exact-boundary budget (e.g. ``budget == np.sum(costs)``) cannot
+    flip a decision through subtractive rounding.
+    """
     order = np.argsort(-scores, kind="stable")
     selected = np.zeros(scores.shape[0], dtype=bool)
-    remaining = float(budget)
+    spent = 0.0
     for i in order:
-        if costs[i] <= remaining:
+        c = float(costs[i])
+        if spent + c <= budget:
             selected[i] = True
-            remaining -= float(costs[i])
+            spent += c
     return selected
 
 

@@ -123,6 +123,33 @@ class TestSampleFraction:
             data.sample_fraction(1.5)
 
 
+class TestConcat:
+    def test_roundtrip_contiguous_parts(self):
+        data = make_dataset(n=90)
+        parts = [data.subset(np.arange(0, 30)), data.subset(np.arange(30, 90))]
+        merged = RCTDataset.concat(parts)
+        assert merged.n == 90
+        np.testing.assert_array_equal(merged.x, data.x)
+        np.testing.assert_array_equal(merged.tau_c, data.tau_c)
+        assert merged.name == data.name
+        assert merged.feature_names == data.feature_names
+
+    def test_single_part_is_a_copy(self):
+        data = make_dataset(n=20)
+        merged = RCTDataset.concat([data])
+        assert merged.n == 20
+        merged.tau_c[:] = -1.0
+        assert np.all(data.tau_c > 0)  # original untouched
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="feature"):
+            RCTDataset.concat([make_dataset(d=3), make_dataset(d=4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RCTDataset.concat([])
+
+
 class TestSummary:
     def test_keys_and_values(self):
         data = make_dataset()

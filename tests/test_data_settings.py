@@ -7,10 +7,51 @@ from repro.data.settings import (
     DATASET_NAMES,
     INSUFFICIENT_RATE,
     SETTING_NAMES,
+    iter_dataset_chunks,
     load_dataset,
     make_setting,
 )
 from repro.data.shift import shift_direction
+
+
+class TestIterDatasetChunks:
+    def test_chunks_bounded_and_total_covers_n(self):
+        chunks = list(iter_dataset_chunks("criteo", 1000, chunk_size=300, random_state=0))
+        assert all(c.n <= 300 for c in chunks)
+        assert sum(c.n for c in chunks) >= 1000
+        # criteo yields every requested row: exact coverage, no waste
+        assert sum(c.n for c in chunks) == 1000
+
+    def test_low_yield_generator_adapts(self):
+        """meituan keeps ~40% of rows; the request size must adapt."""
+        chunks = list(iter_dataset_chunks("meituan", 800, chunk_size=400, random_state=0))
+        assert sum(c.n for c in chunks) >= 800
+        assert all(c.n <= 400 for c in chunks)
+
+    def test_tiny_tail_shortfall_on_low_yield_generator(self):
+        """Regression: a few-row tail shortfall used to request fewer
+        rows than meituan's 25-row generator minimum and crash."""
+        for seed in range(8):
+            chunks = list(
+                iter_dataset_chunks("meituan", 5000, chunk_size=250, random_state=seed)
+            )
+            assert sum(c.n for c in chunks) >= 5000
+
+    def test_consumer_can_stop_early(self):
+        got = 0
+        for chunk in iter_dataset_chunks("criteo", 10_000, chunk_size=200, random_state=0):
+            got += chunk.n
+            if got >= 500:
+                break
+        assert 500 <= got <= 700  # one chunk of overshoot at most
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="n must be"):
+            list(iter_dataset_chunks("criteo", 0))
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(iter_dataset_chunks("criteo", 100, chunk_size=5))
+        with pytest.raises(ValueError, match="Unknown dataset"):
+            list(iter_dataset_chunks("nope", 100))
 
 
 class TestLoadDataset:

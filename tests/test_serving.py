@@ -391,6 +391,72 @@ class TestBudgetPacer:
         # curve(0.25) ~ 1.6% of budget (+1% slack)
         assert pacer.spent <= 100.0 * (0.25**3 + 0.011) + 0.3
 
+    def test_warmup_boundary_gates_the_fitting_arrival(self):
+        """Regression: the arrival that completes warmup triggers the
+        first threshold fit and must already be gated by it — the
+        off-by-one (`_refresh` at >= warmup, gate at > warmup) ignored
+        the freshly fitted threshold for exactly that arrival."""
+        pacer = BudgetPacer(
+            10.0,
+            horizon=100,
+            warmup=4,
+            refresh_every=1,
+            lookahead=10,
+            curve_slack=0.5,
+            use_roi_floor=False,
+        )
+        assert pacer.warmup == 4
+        # warmup arrivals are curve-gated only: all admitted, spend runs
+        # far ahead of the uniform curve
+        assert all(pacer.offer(0.9, 1.0) for _ in range(3))
+        assert pacer.spent == 3.0
+        # arrival 4 completes warmup; the fit sees spend ahead of the
+        # curve and sets a prohibitive threshold — this very arrival
+        # must be rejected (the curve cap alone would still admit it)
+        assert pacer.offer(0.9, 1.0) is False
+        assert pacer.history and pacer.history[0][0] == 4  # fit happened at n_seen=4
+        assert pacer.threshold_ > 0.9
+        assert pacer.spent == 3.0
+
+    def test_adapts_to_intra_day_score_drift(self, rng):
+        """Non-stationary arrivals: the score distribution jumps mid-day
+        and the sliding window must re-fit the threshold while both
+        pacing invariants keep holding."""
+        n = 4000
+        budget = 800.0  # constant unit costs -> ~20% of arrivals affordable
+        curve_slack = 0.05
+        pacer = BudgetPacer(
+            budget,
+            horizon=n,
+            window=512,
+            refresh_every=64,
+            warmup=128,
+            lookahead=256,
+            curve_slack=curve_slack,
+            use_roi_floor=False,
+        )
+        scores = np.concatenate(
+            [rng.uniform(0.0, 1.0, n // 2), rng.uniform(2.0, 3.0, n // 2)]
+        )
+        for s in scores:
+            pacer.offer(float(s), 1.0)
+        # invariant 1: never overspends the budget
+        assert pacer.spent <= budget + 1e-9
+        # invariant 2: every refresh point sat on or under curve + slack
+        for n_seen, spent, _thr in pacer.history:
+            cap = budget * min(1.0, n_seen / n + curve_slack)
+            assert spent <= cap + 1e-9
+        # the threshold re-adapted to the drifted distribution: late
+        # fits sit in the new score range, early fits in the old one
+        early = [thr for seen, _s, thr in pacer.history if seen <= n // 2]
+        late = [thr for seen, _s, thr in pacer.history if seen > n // 2 + 512]
+        assert early and late
+        assert np.median(late) > np.median(early) + 1.0
+        assert np.median(early) < 1.0  # fitted inside the pre-drift range
+        assert np.median(late) > 2.0  # fitted inside the post-drift range
+        # and the budget keeps being used after the drift, not starved
+        assert pacer.spent > 0.8 * budget
+
 
 # ---------------------------------------------------------------------------
 # TrafficReplay end-to-end (the ISSUE acceptance scenario)
