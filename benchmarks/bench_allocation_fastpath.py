@@ -20,14 +20,19 @@ from repro.core.allocation import greedy_allocation
 N = 200_000
 REPEATS = 5
 
+SMOKE_N = 20_000
+SMOKE_REPEATS = 2
 
-def test_fast_path_hit_and_speedup(benchmark) -> None:
+
+def test_fast_path_hit_and_speedup(benchmark, smoke) -> None:
     """Sorted-fitting inputs take the cumsum path and run ~vectorised."""
+    n = SMOKE_N if smoke else N
+    repeats = SMOKE_REPEATS if smoke else REPEATS
 
     def run() -> dict[str, float]:
         rng = np.random.default_rng(0)
-        scores = rng.random(N)
-        uniform_costs = np.full(N, 0.25)  # no skip can ever pay -> fast path
+        scores = rng.random(n)
+        uniform_costs = np.full(n, 0.25)  # no skip can ever pay -> fast path
         # costly head + cheap tail: the prefix nearly exhausts the budget
         # while cheaper affordable items remain -> scan fallback
         skewed_costs = np.where(scores > 0.5, 5.0, 0.01)
@@ -36,25 +41,26 @@ def test_fast_path_hit_and_speedup(benchmark) -> None:
         start = time.perf_counter()
         fast_paths = [
             greedy_allocation(scores, uniform_costs, budget).path
-            for _ in range(REPEATS)
+            for _ in range(repeats)
         ]
-        fast_seconds = (time.perf_counter() - start) / REPEATS
+        fast_seconds = (time.perf_counter() - start) / repeats
 
         start = time.perf_counter()
         scan_paths = [
             greedy_allocation(scores, skewed_costs, budget).path
-            for _ in range(REPEATS)
+            for _ in range(repeats)
         ]
-        scan_seconds = (time.perf_counter() - start) / REPEATS
+        scan_seconds = (time.perf_counter() - start) / repeats
 
-        assert fast_paths == ["fast_path"] * REPEATS
-        assert scan_paths == ["scan_fallback"] * REPEATS
+        assert fast_paths == ["fast_path"] * repeats
+        assert scan_paths == ["scan_fallback"] * repeats
         return {"fast": fast_seconds, "scan": scan_seconds}
 
     timings = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_header(f"Algorithm 1 fast path — {N:,} individuals")
+    print_header(f"Algorithm 1 fast path — {n:,} individuals")
     print(f"  cumsum fast path   {timings['fast'] * 1000:8.1f} ms")
     print(f"  scan fallback      {timings['scan'] * 1000:8.1f} ms")
     print(f"  speedup            {timings['scan'] / max(timings['fast'], 1e-12):8.1f}x")
     # the fallback pays a per-item Python loop; the fast path must win
-    assert timings["fast"] < timings["scan"]
+    if not smoke:
+        assert timings["fast"] < timings["scan"]

@@ -24,11 +24,14 @@ BATCH_SIZES = (1, 32, 256)
 N_REQUESTS = 2048
 N_UNIQUE = 256  # unique rows in the cache-on stream (87.5% hit rate)
 
+SMOKE_N_REQUESTS = 256
+SMOKE_N_UNIQUE = 64
 
-def _requests_per_second(model, rows, batch_size, cache_size) -> tuple[float, float]:
+
+def _requests_per_second(model, rows, batch_size, cache_size, n_unique) -> tuple[float, float]:
     engine = ScoringEngine(model, batch_size=batch_size, cache_size=cache_size)
     if cache_size:  # warm the cache with the unique rows
-        for row in rows[:N_UNIQUE]:
+        for row in rows[:n_unique]:
             engine.submit(row)
         engine.flush()
     start = time.perf_counter()
@@ -39,23 +42,27 @@ def _requests_per_second(model, rows, batch_size, cache_size) -> tuple[float, fl
     return len(rows) / elapsed, engine.cache_hit_rate
 
 
-def test_throughput_batch_and_cache(benchmark) -> None:
+def test_throughput_batch_and_cache(benchmark, smoke) -> None:
     """requests/sec over the batch-size x cache grid."""
+    n_requests = SMOKE_N_REQUESTS if smoke else N_REQUESTS
+    n_unique = SMOKE_N_UNIQUE if smoke else N_UNIQUE
 
     def run() -> dict[tuple[int, str], tuple[float, float]]:
         data = get_setting("criteo", "SuNo")
         model = get_rdrp("criteo", "SuNo").drp  # single-pass DRP scorer
-        unique = data.test.x[:N_UNIQUE]
-        repeated = np.tile(unique, (N_REQUESTS // N_UNIQUE, 1))
-        distinct = data.test.x[:N_REQUESTS]
+        unique = data.test.x[:n_unique]
+        repeated = np.tile(unique, (n_requests // n_unique, 1))
+        distinct = data.test.x[:n_requests]
         out = {}
         for batch in BATCH_SIZES:
-            out[(batch, "off")] = _requests_per_second(model, distinct, batch, 0)
-            out[(batch, "on")] = _requests_per_second(model, repeated, batch, 4 * N_UNIQUE)
+            out[(batch, "off")] = _requests_per_second(model, distinct, batch, 0, n_unique)
+            out[(batch, "on")] = _requests_per_second(
+                model, repeated, batch, 4 * n_unique, n_unique
+            )
         return out
 
     grid = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_header("serving throughput — requests/sec (2048 requests)")
+    print_header(f"serving throughput — requests/sec ({n_requests} requests)")
     print(f"  {'batch':>6s} {'cache':>6s} {'req/s':>12s} {'hit rate':>9s}")
     for (batch, cache), (rps, hit_rate) in sorted(grid.items()):
         print(f"  {batch:>6d} {cache:>6s} {rps:>12.0f} {hit_rate:>9.2f}")
@@ -63,7 +70,10 @@ def test_throughput_batch_and_cache(benchmark) -> None:
     rps_1 = grid[(1, "off")][0]
     rps_256 = grid[(256, "off")][0]
     print(f"  batching leverage: {rps_256 / rps_1:.1f}x (bar: >= 10x)")
-    assert rps_256 >= 10.0 * rps_1
-    # the cache path must not be slower than cold scoring at equal batch
-    assert grid[(256, "on")][0] >= rps_256 * 0.5
-    assert grid[(256, "on")][1] > 0.8  # the stream really did hit the cache
+    # the stream really did hit the cache (smoke sizes land exactly on
+    # 0.8: 256 hot requests over 64 warmed rows = 256/320 lookups hit)
+    assert grid[(256, "on")][1] >= 0.8
+    if not smoke:
+        assert rps_256 >= 10.0 * rps_1
+        # the cache path must not be slower than cold scoring at equal batch
+        assert grid[(256, "on")][0] >= rps_256 * 0.5

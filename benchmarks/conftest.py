@@ -9,5 +9,13 @@ clock for no insight.
 import sys
 from pathlib import Path
 
+import pytest
+
 # make the sibling _harness module importable regardless of rootdir
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """True when ``--smoke`` was passed: tiny sizes, no perf assertions."""
+    return bool(request.config.getoption("--smoke"))

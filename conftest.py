@@ -1,0 +1,20 @@
+"""Repo-level pytest configuration.
+
+Defines the ``--smoke`` option here (the rootdir conftest) so it is
+registered whether pytest is invoked on the whole repo, ``tests/``, or
+a single ``benchmarks/bench_*.py`` file.  Benchmarks read it through
+the ``smoke`` fixture in ``benchmarks/conftest.py``: smoke mode shrinks
+sizes to seconds and skips wall-clock assertions, so CI can execute
+every perf script on every push without timing flakiness — the scripts
+can't silently rot even when their full-size numbers are only checked
+locally.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks at tiny sizes (correctness only, no perf assertions)",
+    )

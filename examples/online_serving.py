@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 import repro
 from repro.serving import ConformalGatedPolicy, GreedyROIPolicy

@@ -34,9 +34,18 @@ policy's revenue against the offline greedy oracle.
 >>> registry.register(model, promote=True)  # doctest: +SKIP
 >>> engine = ScoringEngine(registry, batch_size=64)  # doctest: +SKIP
 >>> result = TrafficReplay(Platform(), engine).replay_day(10_000)  # doctest: +SKIP
+
+Cross-policy replay (``repro.ab.replay``)
+-----------------------------------------
+:class:`PolicyReplay` compares several policy sets on *identical*
+traffic with shared outcome draws (common random numbers): one cohort,
+one arm partition, and one per-user cost/reward uniform tensor per day,
+so cross-policy uplift deltas are paired and far less noisy than
+independent :class:`ABTest` runs — at roughly one run's generation
+cost.  See :mod:`repro.ab.replay` for a three-policy example.
 """
 
-from repro.ab import ABTest, Platform
+from repro.ab import ABTest, Platform, PolicyReplay
 from repro.causal import (
     CausalForestUplift,
     DragonNet,
@@ -84,7 +93,7 @@ from repro.serving import (
     TrafficReplay,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ABTest",
@@ -107,6 +116,7 @@ __all__ = [
     "TrafficReplay",
     "pav_isotonic",
     "Platform",
+    "PolicyReplay",
     "RCTDataset",
     "RobustDRP",
     "RoiStarEstimator",

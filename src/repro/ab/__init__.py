@@ -20,10 +20,28 @@ arms, one Bernoulli draw realises them via
 :meth:`Platform.realize_arms`) and cohorts larger than the platform's
 ``chunk_size`` are generated chunk-by-chunk (peak memory ~2x the
 cohort), so ``ABTest.run(n_days, cohort_size=1_000_000)`` runs in
-seconds without materialising multi-``n`` oversample pools.
+seconds without materialising multi-``n`` oversample pools.  Chunked
+generation optionally fans out across a ``concurrent.futures`` worker
+pool (``parallel=`` / ``n_workers=`` on :class:`Platform`,
+:class:`ABTest`, and :class:`PolicyReplay`) with bit-identical output.
+
+Cross-policy comparison: :class:`PolicyReplay` scores several policy
+sets against *identical* traffic — one cohort, one arm partition, and
+one pre-drawn per-user cost/reward uniform tensor per day (common
+random numbers) — so cross-set uplift deltas are paired and their
+variance collapses, at roughly the generation cost of a single run.
 """
 
-from repro.ab.experiment import ABTest, ABTestResult, DayResult
+from repro.ab.experiment import ABTest, ABTestResult, DayResult, plan_day
 from repro.ab.platform import Platform
+from repro.ab.replay import PolicyReplay, PolicyReplayResult
 
-__all__ = ["ABTest", "ABTestResult", "DayResult", "Platform"]
+__all__ = [
+    "ABTest",
+    "ABTestResult",
+    "DayResult",
+    "Platform",
+    "PolicyReplay",
+    "PolicyReplayResult",
+    "plan_day",
+]

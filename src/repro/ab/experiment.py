@@ -30,12 +30,91 @@ import numpy as np
 from repro.ab.platform import Platform
 from repro.utils.rng import as_generator
 
-__all__ = ["ABTest", "ABTestResult", "DayResult", "RANDOM_ARM"]
+__all__ = ["ABTest", "ABTestResult", "DayResult", "RANDOM_ARM", "plan_day"]
 
 RANDOM_ARM = "random"
 
 # A policy maps cohort features (n, d) to ranking scores (n,)
 Policy = Callable[[np.ndarray], np.ndarray]
+
+
+def check_cohort_size(cohort_size: int, n_arms: int) -> None:
+    """Every arm needs a usable group; tiny cohorts are a caller bug."""
+    if cohort_size // n_arms < 10:
+        raise ValueError(
+            f"cohort_size {cohort_size} too small for {n_arms} arms; need >= {10 * n_arms}"
+        )
+
+
+def check_budget_fraction(budget_fraction: float) -> float:
+    """Shared budget contract for ABTest and PolicyReplay."""
+    if not 0.0 < budget_fraction <= 1.0:
+        raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+    return float(budget_fraction)
+
+
+def plan_day(
+    cohort,
+    policies: dict[str, Policy],
+    budget_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[list[str], list[np.ndarray], list[float], list[int]]:
+    """Partition a cohort across arms and build each arm's order/budget.
+
+    The one place that owns the split semantics shared by
+    :meth:`ABTest.run_day` and :class:`~repro.ab.replay.PolicyReplay`:
+    a single permutation partitions the cohort (``array_split`` spreads
+    a non-divisible cohort's remainder over the leading arms, so every
+    user lands in exactly one arm), each model policy scores only its
+    own arm's feature slice, the control arm gets a random order, and
+    every arm's budget is ``budget_fraction`` of its group's expected
+    full-treatment incremental cost.
+
+    Returns
+    -------
+    (arms, orders, budgets, sizes)
+        Arm names (control last), per-arm cohort-index treatment
+        orders, per-arm budgets, and per-arm group sizes.
+    """
+    arms = list(policies) + [RANDOM_ARM]
+    n_arms = len(arms)
+    check_cohort_size(cohort.n, n_arms)
+    # array_split spreads the remainder over the leading parts, so
+    # every cohort index lands in exactly one arm
+    groups = np.array_split(rng.permutation(cohort.n), n_arms)
+    sizes = [int(g.shape[0]) for g in groups]
+
+    orders: list[np.ndarray] = []
+    budgets: list[float] = []
+    for arm, idx in zip(arms, groups):
+        budgets.append(budget_fraction * float(np.sum(cohort.tau_c[idx])))
+        if arm == RANDOM_ARM:
+            orders.append(rng.permutation(idx))
+        else:
+            scores = np.asarray(policies[arm](cohort.x[idx]), dtype=float).ravel()
+            if scores.shape[0] != idx.shape[0]:
+                raise ValueError(
+                    f"Policy {arm!r} returned {scores.shape[0]} scores "
+                    f"for {idx.shape[0]} users"
+                )
+            orders.append(idx[np.argsort(-scores, kind="stable")])
+    return arms, orders, budgets, sizes
+
+
+def build_day_result(
+    day: int, arms: list[str], sizes: list[int], outcomes: list[dict]
+) -> "DayResult":
+    """Assemble per-arm outcome dicts into a :class:`DayResult`."""
+    return DayResult(
+        day=day,
+        revenue={arm: outcomes[a]["revenue"] for a, arm in enumerate(arms)},
+        incremental_revenue={
+            arm: outcomes[a]["incremental_revenue"] for a, arm in enumerate(arms)
+        },
+        spend={arm: outcomes[a]["spend"] for a, arm in enumerate(arms)},
+        n_treated={arm: outcomes[a]["n_treated"] for a, arm in enumerate(arms)},
+        n_users={arm: int(sizes[a]) for a, arm in enumerate(arms)},
+    )
 
 
 @dataclass
@@ -109,6 +188,11 @@ class ABTest:
         afford roughly this fraction of its users).
     random_state:
         Seed/generator for the daily partition and the random arm.
+    parallel:
+        Generate daily cohorts on a worker pool (bit-identical cohorts,
+        less wall time — generation dominates million-user days).
+    n_workers:
+        Pool size when ``parallel`` (``None`` → all visible CPUs).
     """
 
     def __init__(
@@ -117,76 +201,46 @@ class ABTest:
         policies: dict[str, Policy],
         budget_fraction: float = 0.3,
         random_state: int | np.random.Generator | None = None,
+        parallel: bool = False,
+        n_workers: int | None = None,
     ) -> None:
         if not policies:
             raise ValueError("At least one model policy is required")
         if RANDOM_ARM in policies:
             raise ValueError(f"{RANDOM_ARM!r} is reserved for the control arm")
-        if not 0.0 < budget_fraction <= 1.0:
-            raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
         self.platform = platform
         self.policies = dict(policies)
-        self.budget_fraction = float(budget_fraction)
+        self.budget_fraction = check_budget_fraction(budget_fraction)
+        self.parallel = bool(parallel)
+        self.n_workers = n_workers
         self._rng = as_generator(random_state)
-
-    def _check_cohort_size(self, cohort_size: int, n_arms: int) -> None:
-        if cohort_size // n_arms < 10:
-            raise ValueError(
-                f"cohort_size {cohort_size} too small for {n_arms} arms; need >= {10 * n_arms}"
-            )
 
     def run(self, n_days: int = 5, cohort_size: int = 3000) -> ABTestResult:
         """Execute the experiment (five days in the paper's setups)."""
         if n_days < 1:
             raise ValueError(f"n_days must be >= 1, got {n_days}")
-        self._check_cohort_size(cohort_size, len(self.policies) + 1)
+        check_cohort_size(cohort_size, len(self.policies) + 1)
         result = ABTestResult()
         for day in range(1, n_days + 1):
-            cohort = self.platform.daily_cohort(cohort_size, day)
+            cohort = self.platform.daily_cohort(
+                cohort_size, day, parallel=self.parallel, n_workers=self.n_workers
+            )
             result.days.append(self.run_day(cohort, day))
         return result
 
     def run_day(self, cohort, day: int) -> DayResult:
         """Evaluate one day's cohort across every arm (the batched path).
 
-        Partition, score, and realise in array ops: one permutation
-        splits the cohort (every index lands in exactly one arm — a
-        remainder spreads one extra user over the leading arms), each
-        model policy scores only its own arm's feature slice, and all
-        arms realise together through one
+        Partition, score, and realise in array ops: :func:`plan_day`
+        splits the cohort and builds each arm's treatment order and
+        budget, then all arms realise together through one
         :meth:`Platform.realize_arms` call.  Useful directly when
-        replaying a fixed cohort against several policy sets.
+        replaying a fixed cohort against several policy sets — see
+        :class:`~repro.ab.replay.PolicyReplay` for the paired
+        (common-random-numbers) version of that comparison.
         """
-        arms = list(self.policies) + [RANDOM_ARM]
-        n_arms = len(arms)
-        self._check_cohort_size(cohort.n, n_arms)
-        # array_split spreads the remainder over the leading parts, so
-        # every cohort index lands in exactly one arm
-        groups = np.array_split(self._rng.permutation(cohort.n), n_arms)
-        sizes = [g.shape[0] for g in groups]
-
-        orders: list[np.ndarray] = []
-        budgets: list[float] = []
-        for arm, idx in zip(arms, groups):
-            budgets.append(self.budget_fraction * float(np.sum(cohort.tau_c[idx])))
-            if arm == RANDOM_ARM:
-                orders.append(self._rng.permutation(idx))
-            else:
-                scores = np.asarray(self.policies[arm](cohort.x[idx]), dtype=float).ravel()
-                if scores.shape[0] != idx.shape[0]:
-                    raise ValueError(
-                        f"Policy {arm!r} returned {scores.shape[0]} scores "
-                        f"for {idx.shape[0]} users"
-                    )
-                orders.append(idx[np.argsort(-scores, kind="stable")])
-        outcomes = self.platform.realize_arms(cohort, orders, budgets)
-        return DayResult(
-            day=day,
-            revenue={arm: outcomes[a]["revenue"] for a, arm in enumerate(arms)},
-            incremental_revenue={
-                arm: outcomes[a]["incremental_revenue"] for a, arm in enumerate(arms)
-            },
-            spend={arm: outcomes[a]["spend"] for a, arm in enumerate(arms)},
-            n_treated={arm: outcomes[a]["n_treated"] for a, arm in enumerate(arms)},
-            n_users={arm: int(sizes[a]) for a, arm in enumerate(arms)},
+        arms, orders, budgets, sizes = plan_day(
+            cohort, self.policies, self.budget_fraction, self._rng
         )
+        outcomes = self.platform.realize_arms(cohort, orders, budgets)
+        return build_day_result(day, arms, sizes, outcomes)

@@ -6,11 +6,23 @@ import numpy as np
 
 from repro.core.allocation import spend_down_prefix
 from repro.data.rct import RCTDataset
-from repro.data.settings import iter_dataset_chunks, load_dataset
+from repro.data.settings import iter_dataset_chunks, load_dataset, resolve_n_workers
 from repro.data.shift import exponential_tilt_shift
 from repro.utils.rng import as_generator
 
 __all__ = ["Platform"]
+
+
+def _check_uniforms(u: np.ndarray | None, n: int, name: str) -> np.ndarray | None:
+    """Validate an externally-supplied per-user uniform tensor."""
+    if u is None:
+        return None
+    u = np.asarray(u, dtype=float).ravel()
+    if u.shape[0] != n:
+        raise ValueError(f"{name} must have one value per cohort user ({n}), got {u.shape[0]}")
+    if not np.all((u >= 0.0) & (u < 1.0)):
+        raise ValueError(f"{name} must be uniforms in [0, 1)")
+    return u
 
 
 def _check_arm_indices(order: np.ndarray, n: int) -> None:
@@ -53,6 +65,12 @@ class Platform:
         the accumulated chunks plus the concatenated output) instead
         of the one-shot path's multiple-``n`` oversample pool — what
         makes million-user days feasible.
+    parallel:
+        Generate chunked cohorts on a ``concurrent.futures`` process
+        pool.  Output is bit-identical to the serial path (chunks live
+        on per-index seed substreams); only wall time changes.
+    n_workers:
+        Pool size when ``parallel`` (``None`` → all visible CPUs).
     random_state:
         Seed/generator for cohort draws and outcome realisation.
     """
@@ -65,6 +83,8 @@ class Platform:
         day_effect: float = 0.1,
         base_revenue_rate: float = 0.25,
         chunk_size: int = 200_000,
+        parallel: bool = False,
+        n_workers: int | None = None,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
         if not 0.0 <= day_effect < 1.0:
@@ -79,24 +99,39 @@ class Platform:
         self.day_effect = float(day_effect)
         self.base_revenue_rate = float(base_revenue_rate)
         self.chunk_size = int(chunk_size)
+        self.parallel = bool(parallel)
+        self.n_workers = None if n_workers is None else resolve_n_workers(n_workers)
         self._rng = as_generator(random_state)
 
-    def daily_cohort(self, n: int, day: int) -> RCTDataset:
+    def daily_cohort(
+        self,
+        n: int,
+        day: int,
+        *,
+        parallel: bool | None = None,
+        n_workers: int | None = None,
+    ) -> RCTDataset:
         """Draw the users arriving on ``day`` (1-based).
 
         The returned :class:`RCTDataset` carries ground-truth ``tau_r``
         / ``tau_c`` which :meth:`realize_arm` consumes; its ``t``/``y``
         columns are ignored by the A/B harness (assignment is decided
         by the policies, not by the generator).
+
+        ``parallel`` / ``n_workers`` override the platform-level
+        settings for this draw only; the cohort is bit-identical either
+        way.
         """
         if n < 3:
             raise ValueError(f"cohort size must be >= 3, got {n}")
         if day < 1:
             raise ValueError(f"day must be >= 1, got {day}")
+        parallel = self.parallel if parallel is None else bool(parallel)
+        n_workers = self.n_workers if n_workers is None else resolve_n_workers(n_workers)
         if n <= self.chunk_size:
             cohort = self._draw_cohort_oneshot(n)
         else:
-            cohort = self._draw_cohort_chunked(n)
+            cohort = self._draw_cohort_chunked(n, parallel=parallel, n_workers=n_workers)
         # deterministic day-of-week multiplier on the effects
         multiplier = 1.0 + self.day_effect * np.sin(2.0 * np.pi * day / 7.0)
         cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
@@ -139,7 +174,9 @@ class Platform:
             cohort = cohort.subset(np.arange(n))
         return cohort
 
-    def _draw_cohort_chunked(self, n: int) -> RCTDataset:
+    def _draw_cohort_chunked(
+        self, n: int, parallel: bool = False, n_workers: int | None = None
+    ) -> RCTDataset:
         """Chunked draw: peak memory ~2x the cohort (accumulated chunks
         plus the concatenated output; pool chunks on the shifted path
         are ``2 * chunk_size`` rows), never a multiple-``n`` oversample
@@ -149,7 +186,9 @@ class Platform:
         :func:`~repro.data.settings.iter_dataset_chunks`; shifted
         cohorts tilt each pool chunk down to half, which targets the
         same shifted marginal as one global tilt (the tilt weights are
-        i.i.d. functions of each row's features).
+        i.i.d. functions of each row's features).  ``parallel`` fans
+        chunk generation out across a worker pool (tilting stays
+        in-process — it is subsampling, not generation).
         """
         parts: list[RCTDataset] = []
         have = 0
@@ -164,6 +203,8 @@ class Platform:
                     2 * need,
                     chunk_size=2 * self.chunk_size,
                     random_state=self._rng,
+                    parallel=parallel,
+                    n_workers=n_workers,
                 ):
                     if pool.n < 2:
                         continue
@@ -183,7 +224,12 @@ class Platform:
                 )
         else:
             for chunk in iter_dataset_chunks(
-                self.dataset, n, chunk_size=self.chunk_size, random_state=self._rng
+                self.dataset,
+                n,
+                chunk_size=self.chunk_size,
+                random_state=self._rng,
+                parallel=parallel,
+                n_workers=n_workers,
             ):
                 parts.append(chunk)
                 have += chunk.n
@@ -226,6 +272,8 @@ class Platform:
         cohort: RCTDataset,
         treat_order: np.ndarray,
         budget: float,
+        cost_uniforms: np.ndarray | None = None,
+        reward_uniforms: np.ndarray | None = None,
     ) -> dict:
         """Spend ``budget`` down the given treatment order and realise outcomes.
 
@@ -246,6 +294,10 @@ class Platform:
         batched Bernoulli draw plus a searchsorted spend-down
         (:func:`repro.core.allocation.spend_down_prefix`).
 
+        ``cost_uniforms`` / ``reward_uniforms`` optionally supply the
+        per-user uniform draws (common random numbers) — see
+        :meth:`realize_arms`.
+
         Returns
         -------
         dict
@@ -261,13 +313,21 @@ class Platform:
         if not budget >= 0:  # rejects NaN too
             raise ValueError(f"budget must be >= 0, got {budget}")
         # one full-cohort arm: same draws, same boundary, one code path
-        return self.realize_arms(cohort, [order], [budget])[0]
+        return self.realize_arms(
+            cohort,
+            [order],
+            [budget],
+            cost_uniforms=cost_uniforms,
+            reward_uniforms=reward_uniforms,
+        )[0]
 
     def realize_arms(
         self,
         cohort: RCTDataset,
         orders: "list[np.ndarray] | tuple[np.ndarray, ...]",
         budgets: "np.ndarray | list[float]",
+        cost_uniforms: np.ndarray | None = None,
+        reward_uniforms: np.ndarray | None = None,
     ) -> list[dict]:
         """Realise *all* arms of a day in one batched pass.
 
@@ -279,6 +339,17 @@ class Platform:
         per-user (or per-arm O(n) Python) work — this is what makes
         million-user A/B days array-speed.
 
+        Outcome draws are **per user**: user ``i``'s realised cost is
+        ``U_c[i] < tau_c[i]`` and realised reward ``U_r[i] < tau_r[i]``,
+        where ``U_c`` / ``U_r`` are cohort-length uniform tensors.  By
+        default the platform draws them from its own stream; passing
+        ``cost_uniforms`` / ``reward_uniforms`` supplies them externally
+        — the common-random-numbers hook that lets
+        :class:`~repro.ab.replay.PolicyReplay` score every policy set
+        against *identical* outcome draws (a user realises the same
+        cost/reward under every policy that treats them, whatever
+        position they are treated in).
+
         Parameters
         ----------
         cohort:
@@ -289,6 +360,10 @@ class Platform:
             sees one arm); together they need not cover the cohort.
         budgets:
             Per-arm budgets, aligned with ``orders``.
+        cost_uniforms, reward_uniforms:
+            Optional cohort-length arrays of uniforms in ``[0, 1)``.
+            When supplied, the platform's own RNG stream is left
+            untouched by that draw.
 
         Returns
         -------
@@ -305,6 +380,8 @@ class Platform:
         if np.any(budgets < 0) or np.any(np.isnan(budgets)):
             raise ValueError("budgets must all be >= 0")
         n = cohort.n
+        cost_u = _check_uniforms(cost_uniforms, n, "cost_uniforms")
+        reward_u = _check_uniforms(reward_uniforms, n, "reward_uniforms")
         orders = [np.asarray(o, dtype=np.int64).ravel() for o in orders]
         sizes = np.array([o.shape[0] for o in orders], dtype=np.int64)
         order_all = (
@@ -312,8 +389,10 @@ class Platform:
         )
         _check_arm_indices(order_all, n)
 
-        # one batched Bernoulli cost draw across every arm, in order
-        costs_in_order = self._rng.random(order_all.shape[0]) < cohort.tau_c[order_all]
+        # one per-user uniform tensor realises every arm's costs
+        if cost_u is None:
+            cost_u = self._rng.random(n)
+        costs_in_order = cost_u[order_all] < cohort.tau_c[order_all]
         starts = np.concatenate(([0], np.cumsum(sizes)))
 
         outcomes: list[dict] = []
@@ -348,7 +427,9 @@ class Platform:
             if treated_parts
             else np.empty(0, dtype=np.int64)
         )
-        reward_draw = self._rng.random(treated_all.shape[0]) < cohort.tau_r[treated_all]
+        if reward_u is None:
+            reward_u = self._rng.random(n)
+        reward_draw = reward_u[treated_all] < cohort.tau_r[treated_all]
         pos = 0
         for a, part in enumerate(treated_parts):
             incremental = float(np.count_nonzero(reward_draw[pos : pos + part.shape[0]]))

@@ -1,0 +1,206 @@
+"""Cross-policy cohort replay with common random numbers (CRN).
+
+An :class:`~repro.ab.experiment.ABTest` answers "how does this policy
+set fare on its own simulated traffic"; comparing *two* such runs
+compounds three independent noise sources — different cohorts,
+different arm partitions, different outcome draws — none of which has
+anything to do with the policies being compared.  ``PolicyReplay``
+removes all three: every policy set is evaluated on **one** cohort per
+day, split by **one** partition, and realised against **one**
+pre-drawn per-user cost/reward uniform tensor
+(:meth:`Platform.realize_arms` with ``cost_uniforms`` /
+``reward_uniforms``).  Cross-set uplift deltas are then *paired*: a
+user realises the same cost and reward under every policy that treats
+them, so the delta reflects ordering decisions, not luck — the classic
+common-random-numbers variance reduction.
+
+Cost model: an N-set replay generates each day's cohort once, so it
+costs roughly one :class:`ABTest` run plus (N-1) cheap scoring/
+realisation passes — on million-user days, where generation is ~80% of
+wall time, comparing three policies is ~3x cheaper than three
+independent runs *and* gives tighter deltas.
+
+Example — three policies on identical traffic::
+
+    import numpy as np
+    from repro.ab import Platform, PolicyReplay
+
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=12)
+    replay = PolicyReplay(
+        Platform(dataset="criteo", random_state=0),
+        policy_sets={
+            "oracle-ish": {"model": lambda x: x @ w},
+            "anti":       {"model": lambda x: -(x @ w)},
+            "constant":   {"model": lambda x: np.ones(x.shape[0])},
+        },
+        budget_fraction=0.3,
+        random_state=0,
+    )
+    result = replay.run(n_days=5, cohort_size=3000)
+    result.mean_uplift()                      # per set, per arm
+    result.uplift_delta("oracle-ish", "anti", "model")  # paired, per day
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ab.experiment import (
+    RANDOM_ARM,
+    ABTestResult,
+    Policy,
+    build_day_result,
+    check_budget_fraction,
+    check_cohort_size,
+    plan_day,
+)
+from repro.ab.platform import Platform
+from repro.utils.rng import as_generator
+
+__all__ = ["PolicyReplay", "PolicyReplayResult"]
+
+
+@dataclass
+class PolicyReplayResult:
+    """Per-set A/B results, paired across sets by construction.
+
+    ``results[set_name]`` is an ordinary :class:`ABTestResult`; because
+    every set saw the same cohorts, partitions, and outcome uniforms,
+    any across-set comparison of same-day values is a paired
+    comparison.
+    """
+
+    results: dict[str, ABTestResult] = field(default_factory=dict)
+
+    @property
+    def set_names(self) -> list[str]:
+        return list(self.results)
+
+    def mean_uplift(self) -> dict[str, dict[str, float]]:
+        """Across-day mean Fig.-6 uplift per set, per arm."""
+        return {name: res.mean_uplift() for name, res in self.results.items()}
+
+    def uplift_delta(self, set_a: str, set_b: str, arm: str, arm_b: str | None = None) -> list[float]:
+        """Paired per-day uplift difference ``set_a[arm] - set_b[arm_b]``.
+
+        Both series were realised on identical traffic and outcome
+        draws, so the variance of these deltas excludes every noise
+        source the two sets share.  The pairing is exact when both
+        sets have the same number of arms (identical partitions); see
+        :class:`PolicyReplay` for the partially-paired case.
+        """
+        series_a = self.results[set_a].uplift_vs_random[arm]
+        series_b = self.results[set_b].uplift_vs_random[arm_b if arm_b is not None else arm]
+        return [a - b for a, b in zip(series_a, series_b)]
+
+
+class PolicyReplay:
+    """Evaluate N policy sets on identical traffic with shared draws.
+
+    Parameters
+    ----------
+    platform:
+        The simulated traffic source (cohorts are drawn from it once
+        per day and shared by every set).
+    policy_sets:
+        Mapping from set name to a ``{arm_name: policy}`` mapping —
+        each set is exactly what :class:`~repro.ab.experiment.ABTest`
+        takes as ``policies`` (a ``"random"`` control arm is added to
+        each).  Pairing is *exact* between sets with the same number of
+        arms: they split one shared permutation into the same groups,
+        so users, control order, and outcome draws all coincide.  Sets
+        with different arm counts still share the cohort and the
+        outcome uniforms, but ``array_split`` partitions the shared
+        permutation differently — deltas against such a set are only
+        partially paired, and their variance sits between the fully
+        paired and the independent-runs level.
+    budget_fraction:
+        Per-arm budget fraction, as in :class:`ABTest`.
+    random_state:
+        Seed/generator for the shared partition and the shared outcome
+        uniforms.
+    parallel, n_workers:
+        Worker-pool settings for chunked cohort generation (cohorts are
+        bit-identical either way).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        policy_sets: dict[str, dict[str, Policy]],
+        budget_fraction: float = 0.3,
+        random_state: int | np.random.Generator | None = None,
+        parallel: bool = False,
+        n_workers: int | None = None,
+    ) -> None:
+        if not policy_sets:
+            raise ValueError("At least one policy set is required")
+        for set_name, policies in policy_sets.items():
+            if not policies:
+                raise ValueError(f"Policy set {set_name!r} is empty")
+            if RANDOM_ARM in policies:
+                raise ValueError(
+                    f"{RANDOM_ARM!r} in set {set_name!r} — reserved for the control arm"
+                )
+        self.platform = platform
+        self.policy_sets = {name: dict(policies) for name, policies in policy_sets.items()}
+        self.budget_fraction = check_budget_fraction(budget_fraction)
+        self.parallel = bool(parallel)
+        self.n_workers = n_workers
+        self._rng = as_generator(random_state)
+
+    def _max_arms(self) -> int:
+        return max(len(p) for p in self.policy_sets.values()) + 1
+
+    def run(self, n_days: int = 5, cohort_size: int = 3000) -> PolicyReplayResult:
+        """Replay ``n_days`` of traffic through every policy set."""
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        check_cohort_size(cohort_size, self._max_arms())
+        result = PolicyReplayResult(
+            results={name: ABTestResult() for name in self.policy_sets}
+        )
+        for day in range(1, n_days + 1):
+            cohort = self.platform.daily_cohort(
+                cohort_size, day, parallel=self.parallel, n_workers=self.n_workers
+            )
+            self._replay_day(cohort, day, result)
+        return result
+
+    def replay_day(self, cohort, day: int) -> PolicyReplayResult:
+        """Replay one fixed cohort (e.g. a logged day) through every set."""
+        result = PolicyReplayResult(
+            results={name: ABTestResult() for name in self.policy_sets}
+        )
+        self._replay_day(cohort, day, result)
+        return result
+
+    def _replay_day(self, cohort, day: int, result: PolicyReplayResult) -> None:
+        """One day, one cohort, one tensor of outcome draws — N scorings.
+
+        The partition seed and the per-user cost/reward uniforms are
+        drawn once and reused for every set: same users in the model
+        arm, same random-arm order, same realised outcomes per user.
+        """
+        check_cohort_size(cohort.n, self._max_arms())
+        cost_uniforms = self._rng.random(cohort.n)
+        reward_uniforms = self._rng.random(cohort.n)
+        split_seed = int(self._rng.integers(0, np.iinfo(np.int64).max))
+        for set_name, policies in self.policy_sets.items():
+            split_rng = np.random.default_rng(split_seed)
+            arms, orders, budgets, sizes = plan_day(
+                cohort, policies, self.budget_fraction, split_rng
+            )
+            outcomes = self.platform.realize_arms(
+                cohort,
+                orders,
+                budgets,
+                cost_uniforms=cost_uniforms,
+                reward_uniforms=reward_uniforms,
+            )
+            result.results[set_name].days.append(
+                build_day_result(day, arms, sizes, outcomes)
+            )

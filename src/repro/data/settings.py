@@ -17,6 +17,8 @@ base distribution.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +28,7 @@ from repro.data.criteo import criteo_uplift_v2
 from repro.data.meituan import meituan_lift
 from repro.data.rct import RCTDataset
 from repro.data.shift import exponential_tilt_shift
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedStream, as_generator
 
 __all__ = [
     "SETTING_NAMES",
@@ -35,6 +37,7 @@ __all__ = [
     "iter_dataset_chunks",
     "load_dataset",
     "make_setting",
+    "resolve_n_workers",
 ]
 
 SETTING_NAMES = ("SuNo", "SuCo", "InNo", "InCo")
@@ -82,11 +85,54 @@ def load_dataset(
     return _GENERATORS[name](n, random_state=random_state)
 
 
+def resolve_n_workers(n_workers: int | None) -> int:
+    """Normalise an ``n_workers`` argument (``None`` → all visible CPUs)."""
+    if n_workers is None:
+        return os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return int(n_workers)
+
+
+def _generate_chunk(name: str, request: int, seed: int) -> RCTDataset:
+    """One chunk, a pure function of ``(name, request, seed)``.
+
+    Module-level (and seeded by a plain int) so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` can run it in any
+    worker, in any order, and still produce exactly the rows the serial
+    path would.
+    """
+    return load_dataset(name, request, random_state=seed)
+
+
+def _next_request(n: int, produced: int, requested: int, chunk_size: int) -> int:
+    """Request size for the next chunk, given all completed chunks so far.
+
+    Adapts to the yield rate observed so far, so under-producing
+    generators (meituan keeps ~40% of rows) converge in a handful of
+    tail chunks instead of guessing a global oversample factor.  The
+    floor of 50 keeps a tiny tail shortfall from producing a request
+    below any generator's minimum (meituan needs >= 25).
+    """
+    yield_rate = produced / requested if requested else 1.0
+    return min(chunk_size, max(50, int(np.ceil((n - produced) / max(yield_rate, 0.05)))))
+
+
+def _check_chunk_cap(name: str, n: int, produced: int, n_chunks: int, max_chunks: int) -> None:
+    if n_chunks >= max_chunks:
+        raise RuntimeError(
+            f"Chunked generation of {name!r} produced {produced} < {n} "
+            f"rows after {n_chunks} chunks — generator yield too low"
+        )
+
+
 def iter_dataset_chunks(
     name: str,
     n: int,
     chunk_size: int = 250_000,
     random_state: int | np.random.Generator | None = None,
+    parallel: bool = False,
+    n_workers: int | None = None,
 ):
     """Yield dataset chunks until at least ``n`` rows have been produced.
 
@@ -100,6 +146,15 @@ def iter_dataset_chunks(
     generators converge in a handful of tail chunks instead of guessing
     a global oversample factor.
 
+    Chunk ``i`` is a pure function of ``(name, request_i, seed_i)``
+    where ``seed_i`` comes from a :class:`~repro.utils.rng.SeedStream`
+    substream — chunks are independent of each other and of execution
+    order.  ``parallel=True`` exploits that: full-size chunks are
+    generated speculatively on a ``concurrent.futures`` process pool
+    and consumed in index order, falling back to an in-process draw for
+    the adaptive tail chunk whose request depends on the observed yield.
+    The yielded chunks are **bit-identical** to the serial path's.
+
     Parameters
     ----------
     name:
@@ -110,7 +165,14 @@ def iter_dataset_chunks(
     chunk_size:
         Upper bound on any single generator request.
     random_state:
-        Seed/generator; chunks continue one stream.
+        Seed/generator.  Exactly one draw is consumed from a passed
+        generator (to derive the chunk substream root), identically in
+        serial and parallel mode — do not otherwise rely on the
+        generator's position afterwards.
+    parallel:
+        Generate chunks on a worker pool (same output, less wall time).
+    n_workers:
+        Pool size when ``parallel`` (``None`` → all visible CPUs).
 
     Yields
     ------
@@ -121,27 +183,85 @@ def iter_dataset_chunks(
         raise ValueError(f"n must be >= 1, got {n}")
     if chunk_size < 50:
         raise ValueError(f"chunk_size must be >= 50, got {chunk_size}")
-    rng = as_generator(random_state)
+    if name not in _GENERATORS:
+        raise ValueError(f"Unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    workers = resolve_n_workers(n_workers)
+    seeds = SeedStream(random_state)
+    # generous cap: even a 10%-yield generator fits well inside it
+    max_chunks = 20 * (n // chunk_size + 1) + 10
+    if parallel and workers > 1 and n > chunk_size:
+        yield from _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks)
+    else:
+        yield from _iter_chunks_serial(name, n, chunk_size, seeds, max_chunks)
+
+
+def _iter_chunks_serial(name, n, chunk_size, seeds, max_chunks):
     produced = 0
     requested = 0
     n_chunks = 0
-    # generous cap: even a 10%-yield generator fits well inside it
-    max_chunks = 20 * (n // chunk_size + 1) + 10
     while produced < n:
-        if n_chunks >= max_chunks:
-            raise RuntimeError(
-                f"Chunked generation of {name!r} produced {produced} < {n} "
-                f"rows after {n_chunks} chunks — generator yield too low"
-            )
-        yield_rate = produced / requested if requested else 1.0
-        # floor of 50: every generator accepts it (meituan needs >= 25),
-        # so a tiny tail shortfall can't produce an invalid request
-        request = min(chunk_size, max(50, int(np.ceil((n - produced) / max(yield_rate, 0.05)))))
-        chunk = load_dataset(name, request, random_state=rng)
+        _check_chunk_cap(name, n, produced, n_chunks, max_chunks)
+        request = _next_request(n, produced, requested, chunk_size)
+        chunk = _generate_chunk(name, request, seeds.seed(n_chunks))
         requested += request
         produced += chunk.n
         n_chunks += 1
         yield chunk
+
+
+def _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks):
+    """Speculative parallel execution of the serial chunk schedule.
+
+    Every non-tail chunk of the serial schedule requests exactly
+    ``chunk_size`` rows, so those can be submitted ahead of time; only
+    a chunk whose adaptive request turns out to differ (the tail, once
+    the remaining need shrinks below a full chunk) is recomputed
+    in-process with the correct request.  Consuming results strictly in
+    index order with per-index substream seeds makes the yielded
+    sequence bit-identical to :func:`_iter_chunks_serial`.
+    """
+    produced = 0
+    requested = 0
+    n_chunks = 0
+    window = workers + 1  # keep the pool busy while the tail is consumed
+    pending: dict[int, object] = {}
+    next_submit = 0
+    executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while produced < n:
+            _check_chunk_cap(name, n, produced, n_chunks, max_chunks)
+            request = _next_request(n, produced, requested, chunk_size)
+            if request == chunk_size:
+                # speculate no further ahead than the observed yield rate
+                # says is needed — over-submitting would generate chunks
+                # past the stopping index only to discard them (and
+                # block on them at shutdown)
+                yield_rate = produced / requested if requested else 1.0
+                expected_remaining = int(
+                    np.ceil((n - produced) / (chunk_size * max(yield_rate, 0.05)))
+                )
+                while next_submit < n_chunks + min(window, expected_remaining):
+                    pending[next_submit] = executor.submit(
+                        _generate_chunk, name, chunk_size, seeds.seed(next_submit)
+                    )
+                    next_submit += 1
+                chunk = pending.pop(n_chunks).result()
+            else:
+                # adaptive tail: the schedule's request differs from the
+                # speculated full-size draw, so generate it in-process
+                # (and drop the speculative result if one was submitted)
+                future = pending.pop(n_chunks, None)
+                if future is not None:
+                    future.cancel()
+                chunk = _generate_chunk(name, request, seeds.seed(n_chunks))
+            requested += request
+            produced += chunk.n
+            n_chunks += 1
+            yield chunk
+    finally:
+        for future in pending.values():
+            future.cancel()
+        executor.shutdown(wait=True, cancel_futures=True)
 
 
 def make_setting(

@@ -5,7 +5,7 @@ These helpers are used across every subsystem so that array contracts
 always threaded through :class:`numpy.random.Generator` objects.
 """
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import SeedStream, as_generator, spawn_generators
 from repro.utils.validation import (
     check_1d,
     check_2d,
@@ -17,6 +17,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "SeedStream",
     "as_generator",
     "spawn_generators",
     "check_1d",

@@ -64,11 +64,13 @@ class TestSLearnerSpecific:
         mu0, mu1 = model.predict_outcomes(x)
         np.testing.assert_allclose(mu1 - mu0, model.predict_uplift(x))
 
+    @pytest.mark.slow
     def test_default_forest_base(self):
         x, y, t, _ = linear_effect_rct(n=600)
         model = SLearner(random_state=0).fit(x, y, t)
         assert model.predict_uplift(x).shape == (600,)
 
+    @pytest.mark.slow
     def test_forest_base_finds_heterogeneity(self):
         x, y, t, tau = linear_effect_rct(n=4000)
         model = SLearner(random_state=0).fit(x, y, t)

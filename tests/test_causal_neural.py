@@ -5,6 +5,9 @@ import pytest
 
 from repro.causal.neural import DragonNet, OffsetNet, SNet, TARNet
 
+# every test here trains a network; PR CI skips them (-m "not slow")
+pytestmark = pytest.mark.slow
+
 
 def strong_effect_rct(n=2500, seed=0):
     """tau(x) = 1 + x0 > 0; mu0 = 0.5*x1."""

@@ -73,6 +73,7 @@ class TestMakeTpm:
         with pytest.raises(ValueError, match="Unknown TPM variant"):
             make_tpm("GPT")
 
+    @pytest.mark.slow
     def test_sl_variant_end_to_end(self):
         x, y_r, y_c, t, roi = two_outcome_rct(n=1200)
         tpm = make_tpm("SL", random_state=0, fast=True).fit(x, y_r, y_c, t)

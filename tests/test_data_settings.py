@@ -52,6 +52,71 @@ class TestIterDatasetChunks:
             list(iter_dataset_chunks("criteo", 100, chunk_size=5))
         with pytest.raises(ValueError, match="Unknown dataset"):
             list(iter_dataset_chunks("nope", 100))
+        with pytest.raises(ValueError, match="n_workers"):
+            list(iter_dataset_chunks("criteo", 100, parallel=True, n_workers=0))
+
+    def test_chunks_independent_of_consumption_order(self):
+        """Chunk i is a pure function of its substream, not of i-1's rows."""
+        first = list(iter_dataset_chunks("criteo", 900, chunk_size=300, random_state=3))
+        again = list(iter_dataset_chunks("criteo", 900, chunk_size=300, random_state=3))
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(a.x, b.x)
+
+
+def _assert_datasets_equal(a, b):
+    assert a.n == b.n
+    np.testing.assert_array_equal(a.x, b.x)
+    np.testing.assert_array_equal(a.t, b.t)
+    np.testing.assert_array_equal(a.y_r, b.y_r)
+    np.testing.assert_array_equal(a.y_c, b.y_c)
+    np.testing.assert_array_equal(a.tau_r, b.tau_r)
+    np.testing.assert_array_equal(a.tau_c, b.tau_c)
+    np.testing.assert_array_equal(a.roi, b.roi)
+
+
+class TestParallelChunks:
+    """The worker-pool path must be byte-for-byte the serial path."""
+
+    @pytest.mark.parametrize("dataset", ["criteo", "meituan"])
+    def test_parallel_bit_identical_to_serial(self, dataset):
+        # meituan's ~40% yield exercises the adaptive-tail recompute
+        # path (the speculated full-size request is wrong at the tail)
+        serial = list(
+            iter_dataset_chunks(dataset, 1200, chunk_size=300, random_state=7)
+        )
+        parallel = list(
+            iter_dataset_chunks(
+                dataset, 1200, chunk_size=300, random_state=7, parallel=True, n_workers=2
+            )
+        )
+        assert [c.n for c in serial] == [c.n for c in parallel]
+        for a, b in zip(serial, parallel):
+            _assert_datasets_equal(a, b)
+
+    def test_parallel_leaves_caller_stream_where_serial_does(self):
+        """Speculative extra substream seeds must not consume extra
+        draws from a shared caller generator (exactly one draw total)."""
+        g_serial = np.random.default_rng(5)
+        list(iter_dataset_chunks("criteo", 700, chunk_size=300, random_state=g_serial))
+        g_parallel = np.random.default_rng(5)
+        list(
+            iter_dataset_chunks(
+                "criteo", 700, chunk_size=300, random_state=g_parallel,
+                parallel=True, n_workers=2,
+            )
+        )
+        assert g_serial.random() == g_parallel.random()
+
+    def test_parallel_single_chunk_falls_back_to_serial(self):
+        """n <= chunk_size: nothing to fan out, identical output."""
+        serial = list(iter_dataset_chunks("criteo", 200, chunk_size=300, random_state=1))
+        parallel = list(
+            iter_dataset_chunks(
+                "criteo", 200, chunk_size=300, random_state=1, parallel=True, n_workers=2
+            )
+        )
+        assert len(serial) == len(parallel) == 1
+        _assert_datasets_equal(serial[0], parallel[0])
 
 
 class TestLoadDataset:

@@ -10,6 +10,10 @@ import pytest
 
 import repro
 
+# trains DRP/rDRP and forest-based TPM baselines end-to-end; PR CI
+# skips these (-m "not slow"), the main-branch job runs everything
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def criteo_suno():

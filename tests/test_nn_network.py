@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.layers import Activation, Dense, Dropout
+from repro.nn.layers import Dense
 from repro.nn.losses import MeanSquaredError
 from repro.nn.network import Network, mlp
 from repro.nn.optimizers import Adam

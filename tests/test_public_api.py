@@ -25,7 +25,7 @@ SUBPACKAGES = (
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -42,6 +42,7 @@ class TestTopLevel:
             "greedy_allocation",
             "ABTest",
             "Platform",
+            "PolicyReplay",
             "ModelRegistry",
             "ScoringEngine",
             "BudgetPacer",

@@ -8,11 +8,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ab.platform import Platform
-from repro.core.allocation import greedy_allocation
 from repro.core.roi_star import bisect_monotone
 from repro.serving.engine import ScoringEngine
 from repro.serving.pacing import BudgetPacer
-from repro.serving.policy import ConformalGatedPolicy, GreedyROIPolicy
+from repro.serving.policy import ConformalGatedPolicy
 from repro.serving.registry import ModelRegistry
 from repro.serving.simulator import TrafficReplay
 

@@ -6,6 +6,9 @@ import pytest
 from repro.trees.boosting import GradientBoostingRegressor
 from repro.trees.forest import RandomForestRegressor
 
+# every test here fits an ensemble; PR CI skips them (-m "not slow")
+pytestmark = pytest.mark.slow
+
 
 def smooth_problem(n=600, seed=0, noise=0.1):
     rng = np.random.default_rng(seed)

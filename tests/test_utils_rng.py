@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import SeedStream, as_generator, spawn_generators
 
 
 class TestAsGenerator:
@@ -67,3 +67,44 @@ class TestSpawnGenerators:
         parent = np.random.default_rng(3)
         gens = spawn_generators(parent, 2)
         assert all(g is not parent for g in gens)
+
+
+class TestSeedStream:
+    def test_reproducible_from_seed(self):
+        a = SeedStream(9)
+        b = SeedStream(9)
+        assert [a.seed(i) for i in range(5)] == [b.seed(i) for i in range(5)]
+
+    def test_access_order_irrelevant(self):
+        """seed(i) is a pure function of (root, i) — the property that
+        makes work items relocatable across worker processes."""
+        forward = SeedStream(4)
+        backward = SeedStream(4)
+        idx = [0, 7, 130, 2]
+        want = {i: forward.seed(i) for i in idx}
+        for i in reversed(idx):
+            assert backward.seed(i) == want[i]
+
+    def test_extension_keeps_earlier_seeds_stable(self):
+        stream = SeedStream(1)
+        early = stream.seed(3)
+        stream.seed(500)  # forces several block extensions
+        assert stream.seed(3) == early
+
+    def test_consumes_exactly_one_parent_draw(self):
+        used = np.random.default_rng(11)
+        SeedStream(used)
+        SeedStream(used)  # a second family: still one draw each
+        reference = np.random.default_rng(11)
+        reference.integers(0, np.iinfo(np.int64).max, size=2)
+        assert used.random() == reference.random()
+
+    def test_generator_streams_differ(self):
+        stream = SeedStream(0)
+        a = stream.generator(0).random(8)
+        b = stream.generator(1).random(8)
+        assert not np.allclose(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            SeedStream(0).seed(-1)
