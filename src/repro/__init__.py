@@ -35,6 +35,18 @@ policy's revenue against the offline greedy oracle.
 >>> engine = ScoringEngine(registry, batch_size=64)  # doctest: +SKIP
 >>> result = TrafficReplay(Platform(), engine).replay_day(10_000)  # doctest: +SKIP
 
+Execution runtime (``repro.runtime``)
+-------------------------------------
+One execution layer under everything above: pluggable
+:class:`ExecutionBackend` pools (:class:`SerialBackend`,
+:class:`ThreadBackend`, :class:`ProcessBackend` — lazily started,
+reused across a whole run) fan out chunked cohort generation and make
+scoring-engine flushes asynchronous, while :class:`Clock` /
+:class:`ManualClock` / ``DeadlineLoop`` put latency deadlines
+(``max_latency_ms`` flushing) under exact, simulator-controlled time.
+:class:`MultiDayPacer` chains pacing across days with under/over-spend
+carryover, and ``TrafficReplay.replay_days`` replays whole campaigns.
+
 Cross-policy replay (``repro.ab.replay``)
 -----------------------------------------
 :class:`PolicyReplay` compares several policy sets on *identical*
@@ -84,16 +96,24 @@ from repro.data import (
     multi_treatment_rct,
 )
 from repro.metrics import aucc, cost_curve, qini_coefficient
+from repro.runtime import (
+    ManualClock,
+    ProcessBackend,
+    SerialBackend,
+    SystemClock,
+    ThreadBackend,
+)
 from repro.serving import (
     BudgetPacer,
     ConformalGatedPolicy,
     GreedyROIPolicy,
     ModelRegistry,
+    MultiDayPacer,
     ScoringEngine,
     TrafficReplay,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ABTest",
@@ -111,8 +131,14 @@ __all__ = [
     "multi_treatment_rct",
     "HeuristicCalibration",
     "IsotonicRoiRecalibration",
+    "ManualClock",
+    "MultiDayPacer",
     "OffsetNet",
+    "ProcessBackend",
     "ScoringEngine",
+    "SerialBackend",
+    "SystemClock",
+    "ThreadBackend",
     "TrafficReplay",
     "pav_isotonic",
     "Platform",

@@ -21,9 +21,12 @@ arms, one Bernoulli draw realises them via
 ``chunk_size`` are generated chunk-by-chunk (peak memory ~2x the
 cohort), so ``ABTest.run(n_days, cohort_size=1_000_000)`` runs in
 seconds without materialising multi-``n`` oversample pools.  Chunked
-generation optionally fans out across a ``concurrent.futures`` worker
-pool (``parallel=`` / ``n_workers=`` on :class:`Platform`,
-:class:`ABTest`, and :class:`PolicyReplay`) with bit-identical output.
+generation optionally fans out across an
+:class:`~repro.runtime.ExecutionBackend`: ``backend=`` on
+:class:`Platform`, :class:`ABTest`, and :class:`PolicyReplay` shares
+one lazily-started pool across every day of a run (the legacy
+``parallel=`` / ``n_workers=`` spelling gets a run-scoped pool), with
+bit-identical output either way.
 
 Cross-policy comparison: :class:`PolicyReplay` scores several policy
 sets against *identical* traffic — one cohort, one arm partition, and

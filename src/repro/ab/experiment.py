@@ -28,9 +28,46 @@ from typing import Callable
 import numpy as np
 
 from repro.ab.platform import Platform
+from repro.runtime import ExecutionBackend, ProcessBackend
 from repro.utils.rng import as_generator
 
-__all__ = ["ABTest", "ABTestResult", "DayResult", "RANDOM_ARM", "plan_day"]
+__all__ = ["ABTest", "ABTestResult", "DayResult", "RANDOM_ARM", "plan_day", "run_backend"]
+
+
+def run_backend(
+    backend: ExecutionBackend | None,
+    parallel: bool | None,
+    n_workers: int | None,
+    platform: Platform | None = None,
+) -> tuple[ExecutionBackend | None, bool]:
+    """Resolve the execution backend for one experiment run.
+
+    Shared by :class:`ABTest` and :class:`~repro.ab.replay.PolicyReplay`:
+    a caller-supplied backend is borrowed (never shut down here), while
+    the legacy ``parallel=True`` spelling — on the experiment *or*,
+    when the experiment says nothing (``parallel=None``), on the
+    platform — gets **one** run-scoped
+    :class:`~repro.runtime.ProcessBackend`: a single pool for every
+    day of the run, never a pool per ``daily_cohort`` call.  An
+    explicit ``parallel=False`` (and the plain serial case) gets no
+    backend at all; a platform-level ``backend`` is inherited by
+    ``daily_cohort`` itself and needs no resolution here.
+
+    Returns
+    -------
+    (backend, owned)
+        ``owned`` is True when the caller must shut the backend down
+        after the run.
+    """
+    if backend is not None:
+        return backend, False
+    if parallel:
+        return ProcessBackend(n_workers), True
+    if parallel is None and platform is not None and platform.backend is None and platform.parallel:
+        # the platform asked for parallel generation: give it one pool
+        # for the whole run instead of the legacy pool-per-call churn
+        return ProcessBackend(platform.n_workers), True
+    return None, False
 
 RANDOM_ARM = "random"
 
@@ -189,10 +226,19 @@ class ABTest:
     random_state:
         Seed/generator for the daily partition and the random arm.
     parallel:
-        Generate daily cohorts on a worker pool (bit-identical cohorts,
-        less wall time — generation dominates million-user days).
+        ``True``: generate daily cohorts on one run-scoped worker pool
+        (bit-identical cohorts, less wall time — generation dominates
+        million-user days).  ``None`` (default): inherit the
+        platform's own parallel/backend configuration (a
+        platform-level ``parallel=True`` also gets one run-scoped
+        pool).  ``False``: force fully serial generation for this
+        experiment, whatever the platform is configured with.
     n_workers:
         Pool size when ``parallel`` (``None`` → all visible CPUs).
+    backend:
+        A shared :class:`~repro.runtime.ExecutionBackend` for cohort
+        generation.  Takes precedence over ``parallel`` and is never
+        shut down by the test — one pool can serve many experiments.
     """
 
     def __init__(
@@ -201,8 +247,9 @@ class ABTest:
         policies: dict[str, Policy],
         budget_fraction: float = 0.3,
         random_state: int | np.random.Generator | None = None,
-        parallel: bool = False,
+        parallel: bool | None = None,
         n_workers: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if not policies:
             raise ValueError("At least one model policy is required")
@@ -211,21 +258,38 @@ class ABTest:
         self.platform = platform
         self.policies = dict(policies)
         self.budget_fraction = check_budget_fraction(budget_fraction)
-        self.parallel = bool(parallel)
+        self.parallel = None if parallel is None else bool(parallel)
         self.n_workers = n_workers
+        self.backend = backend
         self._rng = as_generator(random_state)
 
     def run(self, n_days: int = 5, cohort_size: int = 3000) -> ABTestResult:
-        """Execute the experiment (five days in the paper's setups)."""
+        """Execute the experiment (five days in the paper's setups).
+
+        Cohort generation for *all* days shares one execution backend:
+        either the one passed at construction or, under the legacy
+        ``parallel=True``, a single run-scoped process pool (started
+        lazily, shut down when the run ends).
+        """
         if n_days < 1:
             raise ValueError(f"n_days must be >= 1, got {n_days}")
         check_cohort_size(cohort_size, len(self.policies) + 1)
+        backend, owned = run_backend(
+            self.backend, self.parallel, self.n_workers, self.platform
+        )
         result = ABTestResult()
-        for day in range(1, n_days + 1):
-            cohort = self.platform.daily_cohort(
-                cohort_size, day, parallel=self.parallel, n_workers=self.n_workers
-            )
-            result.days.append(self.run_day(cohort, day))
+        # an explicit parallel=False forces serial generation even over
+        # the platform's configuration; None inherits it
+        per_day_parallel = False if self.parallel is False else None
+        try:
+            for day in range(1, n_days + 1):
+                cohort = self.platform.daily_cohort(
+                    cohort_size, day, parallel=per_day_parallel, backend=backend
+                )
+                result.days.append(self.run_day(cohort, day))
+        finally:
+            if owned:
+                backend.shutdown()
         return result
 
     def run_day(self, cohort, day: int) -> DayResult:

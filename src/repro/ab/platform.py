@@ -6,8 +6,9 @@ import numpy as np
 
 from repro.core.allocation import spend_down_prefix
 from repro.data.rct import RCTDataset
-from repro.data.settings import iter_dataset_chunks, load_dataset, resolve_n_workers
+from repro.data.settings import iter_dataset_chunks, load_dataset
 from repro.data.shift import exponential_tilt_shift
+from repro.runtime import ExecutionBackend, resolve_n_workers
 from repro.utils.rng import as_generator
 
 __all__ = ["Platform"]
@@ -66,11 +67,19 @@ class Platform:
         of the one-shot path's multiple-``n`` oversample pool — what
         makes million-user days feasible.
     parallel:
-        Generate chunked cohorts on a ``concurrent.futures`` process
-        pool.  Output is bit-identical to the serial path (chunks live
-        on per-index seed substreams); only wall time changes.
+        Generate chunked cohorts on a worker pool.  Output is
+        bit-identical to the serial path (chunks live on per-index
+        seed substreams); only wall time changes.  Without a
+        ``backend`` this spins a private pool per draw — prefer
+        passing a shared backend.
     n_workers:
         Pool size when ``parallel`` (``None`` → all visible CPUs).
+    backend:
+        A shared :class:`~repro.runtime.ExecutionBackend` for chunked
+        generation.  One pool then serves every ``daily_cohort`` call
+        (and every day of an :class:`~repro.ab.experiment.ABTest`)
+        instead of being rebuilt per call.  The platform never shuts
+        it down — lifetime belongs to the caller.
     random_state:
         Seed/generator for cohort draws and outcome realisation.
     """
@@ -85,6 +94,7 @@ class Platform:
         chunk_size: int = 200_000,
         parallel: bool = False,
         n_workers: int | None = None,
+        backend: ExecutionBackend | None = None,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
         if not 0.0 <= day_effect < 1.0:
@@ -101,6 +111,7 @@ class Platform:
         self.chunk_size = int(chunk_size)
         self.parallel = bool(parallel)
         self.n_workers = None if n_workers is None else resolve_n_workers(n_workers)
+        self.backend = backend
         self._rng = as_generator(random_state)
 
     def daily_cohort(
@@ -110,6 +121,7 @@ class Platform:
         *,
         parallel: bool | None = None,
         n_workers: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> RCTDataset:
         """Draw the users arriving on ``day`` (1-based).
 
@@ -118,20 +130,30 @@ class Platform:
         columns are ignored by the A/B harness (assignment is decided
         by the policies, not by the generator).
 
-        ``parallel`` / ``n_workers`` override the platform-level
-        settings for this draw only; the cohort is bit-identical either
-        way.
+        ``parallel`` / ``n_workers`` / ``backend`` override the
+        platform-level settings for this draw only; the cohort is
+        bit-identical either way.  An explicit ``parallel=False``
+        forces a fully in-process draw — it disables the platform's
+        configured backend too (needed e.g. inside a worker process,
+        where nested pools are forbidden) — unless an explicit
+        ``backend`` is passed, which always wins.
         """
         if n < 3:
             raise ValueError(f"cohort size must be >= 3, got {n}")
         if day < 1:
             raise ValueError(f"day must be >= 1, got {day}")
+        force_serial = parallel is False and backend is None
         parallel = self.parallel if parallel is None else bool(parallel)
         n_workers = self.n_workers if n_workers is None else resolve_n_workers(n_workers)
+        backend = self.backend if backend is None else backend
+        if force_serial:
+            backend = None
         if n <= self.chunk_size:
             cohort = self._draw_cohort_oneshot(n)
         else:
-            cohort = self._draw_cohort_chunked(n, parallel=parallel, n_workers=n_workers)
+            cohort = self._draw_cohort_chunked(
+                n, parallel=parallel, n_workers=n_workers, backend=backend
+            )
         # deterministic day-of-week multiplier on the effects
         multiplier = 1.0 + self.day_effect * np.sin(2.0 * np.pi * day / 7.0)
         cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
@@ -175,7 +197,11 @@ class Platform:
         return cohort
 
     def _draw_cohort_chunked(
-        self, n: int, parallel: bool = False, n_workers: int | None = None
+        self,
+        n: int,
+        parallel: bool = False,
+        n_workers: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> RCTDataset:
         """Chunked draw: peak memory ~2x the cohort (accumulated chunks
         plus the concatenated output; pool chunks on the shifted path
@@ -186,9 +212,10 @@ class Platform:
         :func:`~repro.data.settings.iter_dataset_chunks`; shifted
         cohorts tilt each pool chunk down to half, which targets the
         same shifted marginal as one global tilt (the tilt weights are
-        i.i.d. functions of each row's features).  ``parallel`` fans
-        chunk generation out across a worker pool (tilting stays
-        in-process — it is subsampling, not generation).
+        i.i.d. functions of each row's features).  ``backend`` (or the
+        legacy ``parallel``) fans chunk generation out across a worker
+        pool (tilting stays in-process — it is subsampling, not
+        generation).
         """
         parts: list[RCTDataset] = []
         have = 0
@@ -205,6 +232,7 @@ class Platform:
                     random_state=self._rng,
                     parallel=parallel,
                     n_workers=n_workers,
+                    backend=backend,
                 ):
                     if pool.n < 2:
                         continue
@@ -230,6 +258,7 @@ class Platform:
                 random_state=self._rng,
                 parallel=parallel,
                 n_workers=n_workers,
+                backend=backend,
             ):
                 parts.append(chunk)
                 have += chunk.n

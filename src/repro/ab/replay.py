@@ -56,9 +56,12 @@ from repro.ab.experiment import (
     check_budget_fraction,
     check_cohort_size,
     plan_day,
+    run_backend,
 )
 from repro.ab.platform import Platform
+from repro.runtime import ExecutionBackend
 from repro.utils.rng import as_generator
+from repro.utils.stats import MeanCI, mean_confidence_interval
 
 __all__ = ["PolicyReplay", "PolicyReplayResult"]
 
@@ -96,6 +99,28 @@ class PolicyReplayResult:
         series_b = self.results[set_b].uplift_vs_random[arm_b if arm_b is not None else arm]
         return [a - b for a, b in zip(series_a, series_b)]
 
+    def delta_ci(
+        self,
+        set_a: str,
+        set_b: str,
+        arm: str,
+        arm_b: str | None = None,
+        level: float = 0.95,
+    ) -> MeanCI:
+        """Paired t-interval on the mean per-day uplift delta.
+
+        Replayed on common random numbers, the per-day deltas of
+        :meth:`uplift_delta` are i.i.d. across days (each day draws a
+        fresh cohort, partition, and outcome tensor), so the classic
+        paired t-interval applies: ``mean ± t_{1-(1-level)/2, n-1} *
+        sd / sqrt(n)``.  Needs at least two days.  A CI excluding zero
+        is the "this policy set beats that one" significance call at
+        the given level.
+        """
+        return mean_confidence_interval(
+            self.uplift_delta(set_a, set_b, arm, arm_b), level=level
+        )
+
 
 class PolicyReplay:
     """Evaluate N policy sets on identical traffic with shared draws.
@@ -123,8 +148,15 @@ class PolicyReplay:
         Seed/generator for the shared partition and the shared outcome
         uniforms.
     parallel, n_workers:
-        Worker-pool settings for chunked cohort generation (cohorts are
-        bit-identical either way).
+        Worker-pool settings for chunked cohort generation (cohorts
+        are bit-identical either way).  ``parallel=True`` starts one
+        run-scoped pool shared by every day; ``None`` (default)
+        inherits the platform's configuration; ``False`` forces
+        serial generation.
+    backend:
+        A shared :class:`~repro.runtime.ExecutionBackend` for cohort
+        generation; takes precedence over ``parallel`` and is never
+        shut down by the replay.
     """
 
     def __init__(
@@ -133,8 +165,9 @@ class PolicyReplay:
         policy_sets: dict[str, dict[str, Policy]],
         budget_fraction: float = 0.3,
         random_state: int | np.random.Generator | None = None,
-        parallel: bool = False,
+        parallel: bool | None = None,
         n_workers: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if not policy_sets:
             raise ValueError("At least one policy set is required")
@@ -148,26 +181,41 @@ class PolicyReplay:
         self.platform = platform
         self.policy_sets = {name: dict(policies) for name, policies in policy_sets.items()}
         self.budget_fraction = check_budget_fraction(budget_fraction)
-        self.parallel = bool(parallel)
+        self.parallel = None if parallel is None else bool(parallel)
         self.n_workers = n_workers
+        self.backend = backend
         self._rng = as_generator(random_state)
 
     def _max_arms(self) -> int:
         return max(len(p) for p in self.policy_sets.values()) + 1
 
     def run(self, n_days: int = 5, cohort_size: int = 3000) -> PolicyReplayResult:
-        """Replay ``n_days`` of traffic through every policy set."""
+        """Replay ``n_days`` of traffic through every policy set.
+
+        As in :meth:`ABTest.run`, all days share one execution backend
+        (caller-supplied, or one run-scoped pool under ``parallel``).
+        """
         if n_days < 1:
             raise ValueError(f"n_days must be >= 1, got {n_days}")
         check_cohort_size(cohort_size, self._max_arms())
+        backend, owned = run_backend(
+            self.backend, self.parallel, self.n_workers, self.platform
+        )
         result = PolicyReplayResult(
             results={name: ABTestResult() for name in self.policy_sets}
         )
-        for day in range(1, n_days + 1):
-            cohort = self.platform.daily_cohort(
-                cohort_size, day, parallel=self.parallel, n_workers=self.n_workers
-            )
-            self._replay_day(cohort, day, result)
+        # an explicit parallel=False forces serial generation even over
+        # the platform's configuration; None inherits it
+        per_day_parallel = False if self.parallel is False else None
+        try:
+            for day in range(1, n_days + 1):
+                cohort = self.platform.daily_cohort(
+                    cohort_size, day, parallel=per_day_parallel, backend=backend
+                )
+                self._replay_day(cohort, day, result)
+        finally:
+            if owned:
+                backend.shutdown()
         return result
 
     def replay_day(self, cohort, day: int) -> PolicyReplayResult:

@@ -17,8 +17,6 @@ base distribution.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +26,7 @@ from repro.data.criteo import criteo_uplift_v2
 from repro.data.meituan import meituan_lift
 from repro.data.rct import RCTDataset
 from repro.data.shift import exponential_tilt_shift
+from repro.runtime import ExecutionBackend, ProcessBackend, resolve_n_workers
 from repro.utils.rng import SeedStream, as_generator
 
 __all__ = [
@@ -85,15 +84,6 @@ def load_dataset(
     return _GENERATORS[name](n, random_state=random_state)
 
 
-def resolve_n_workers(n_workers: int | None) -> int:
-    """Normalise an ``n_workers`` argument (``None`` → all visible CPUs)."""
-    if n_workers is None:
-        return os.cpu_count() or 1
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    return int(n_workers)
-
-
 def _generate_chunk(name: str, request: int, seed: int) -> RCTDataset:
     """One chunk, a pure function of ``(name, request, seed)``.
 
@@ -133,6 +123,7 @@ def iter_dataset_chunks(
     random_state: int | np.random.Generator | None = None,
     parallel: bool = False,
     n_workers: int | None = None,
+    backend: ExecutionBackend | None = None,
 ):
     """Yield dataset chunks until at least ``n`` rows have been produced.
 
@@ -149,11 +140,18 @@ def iter_dataset_chunks(
     Chunk ``i`` is a pure function of ``(name, request_i, seed_i)``
     where ``seed_i`` comes from a :class:`~repro.utils.rng.SeedStream`
     substream — chunks are independent of each other and of execution
-    order.  ``parallel=True`` exploits that: full-size chunks are
-    generated speculatively on a ``concurrent.futures`` process pool
-    and consumed in index order, falling back to an in-process draw for
+    order.  Fan-out exploits that: full-size chunks are generated
+    speculatively on an :class:`~repro.runtime.ExecutionBackend` and
+    consumed in index order, falling back to an in-process draw for
     the adaptive tail chunk whose request depends on the observed yield.
     The yielded chunks are **bit-identical** to the serial path's.
+
+    Passing ``backend=`` is the preferred spelling: the pool it wraps
+    is *reused* across calls (one startup per run, however many days'
+    cohorts stream through it), and a
+    :class:`~repro.runtime.ThreadBackend` sidesteps chunk pickling
+    entirely.  The legacy ``parallel=True`` spelling still works but
+    creates — and tears down — a private process pool per call.
 
     Parameters
     ----------
@@ -170,9 +168,17 @@ def iter_dataset_chunks(
         serial and parallel mode — do not otherwise rely on the
         generator's position afterwards.
     parallel:
-        Generate chunks on a worker pool (same output, less wall time).
+        Legacy switch: generate chunks on a private, per-call process
+        pool (same output, less wall time).  Ignored when ``backend``
+        is given.
     n_workers:
         Pool size when ``parallel`` (``None`` → all visible CPUs).
+    backend:
+        A shared :class:`~repro.runtime.ExecutionBackend` to fan
+        chunks out on.  The backend is *not* shut down by this
+        generator, so one pool can serve every call of a multi-day
+        run.  A backend with ``n_workers == 1`` (e.g.
+        :class:`~repro.runtime.SerialBackend`) takes the serial path.
 
     Yields
     ------
@@ -189,8 +195,12 @@ def iter_dataset_chunks(
     seeds = SeedStream(random_state)
     # generous cap: even a 10%-yield generator fits well inside it
     max_chunks = 20 * (n // chunk_size + 1) + 10
-    if parallel and workers > 1 and n > chunk_size:
-        yield from _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks)
+    if backend is not None and backend.n_workers > 1 and n > chunk_size:
+        yield from _iter_chunks_parallel(name, n, chunk_size, seeds, backend, max_chunks)
+    elif backend is None and parallel and workers > 1 and n > chunk_size:
+        # legacy spelling: a private pool, torn down when the iterator ends
+        with ProcessBackend(workers) as owned:
+            yield from _iter_chunks_parallel(name, n, chunk_size, seeds, owned, max_chunks)
     else:
         yield from _iter_chunks_serial(name, n, chunk_size, seeds, max_chunks)
 
@@ -209,7 +219,7 @@ def _iter_chunks_serial(name, n, chunk_size, seeds, max_chunks):
         yield chunk
 
 
-def _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks):
+def _iter_chunks_parallel(name, n, chunk_size, seeds, backend, max_chunks):
     """Speculative parallel execution of the serial chunk schedule.
 
     Every non-tail chunk of the serial schedule requests exactly
@@ -219,14 +229,17 @@ def _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks):
     in-process with the correct request.  Consuming results strictly in
     index order with per-index substream seeds makes the yielded
     sequence bit-identical to :func:`_iter_chunks_serial`.
+
+    The ``backend`` is borrowed, never shut down here — speculative
+    futures that outlive the iterator are cancelled, and the pool
+    stays warm for the caller's next chunked draw.
     """
     produced = 0
     requested = 0
     n_chunks = 0
-    window = workers + 1  # keep the pool busy while the tail is consumed
+    window = backend.n_workers + 1  # keep the pool busy while the tail is consumed
     pending: dict[int, object] = {}
     next_submit = 0
-    executor = ProcessPoolExecutor(max_workers=workers)
     try:
         while produced < n:
             _check_chunk_cap(name, n, produced, n_chunks, max_chunks)
@@ -241,7 +254,7 @@ def _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks):
                     np.ceil((n - produced) / (chunk_size * max(yield_rate, 0.05)))
                 )
                 while next_submit < n_chunks + min(window, expected_remaining):
-                    pending[next_submit] = executor.submit(
+                    pending[next_submit] = backend.submit(
                         _generate_chunk, name, chunk_size, seeds.seed(next_submit)
                     )
                     next_submit += 1
@@ -261,7 +274,6 @@ def _iter_chunks_parallel(name, n, chunk_size, seeds, workers, max_chunks):
     finally:
         for future in pending.values():
             future.cancel()
-        executor.shutdown(wait=True, cancel_futures=True)
 
 
 def make_setting(

@@ -1,0 +1,41 @@
+"""One execution layer for scoring, generation, and pacing.
+
+``repro.runtime`` owns the two cross-cutting concerns that every
+scaling feature kept reinventing privately:
+
+* **Where work runs** — :class:`ExecutionBackend` and its three
+  implementations (:class:`SerialBackend`, :class:`ThreadBackend`,
+  :class:`ProcessBackend`): lazily started, reusable, context-managed
+  pools.  Chunked cohort generation, multi-day A/B runs, and the
+  scoring engine's flushes all submit to the same abstraction, so one
+  process pool serves a whole experiment instead of being rebuilt per
+  day.
+* **When work runs** — :class:`Clock` (:class:`SystemClock` /
+  :class:`ManualClock`) and :class:`DeadlineLoop`: pull-based keyed
+  deadlines that make latency guarantees (flush at ``max_latency_ms``)
+  testable under simulated time.
+
+Everything here is dependency-free within the library (it imports
+nothing from other ``repro`` subpackages) so any layer may build on it.
+"""
+
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_n_workers,
+)
+from repro.runtime.clock import Clock, DeadlineLoop, ManualClock, SystemClock
+
+__all__ = [
+    "Clock",
+    "DeadlineLoop",
+    "ExecutionBackend",
+    "ManualClock",
+    "ProcessBackend",
+    "SerialBackend",
+    "SystemClock",
+    "ThreadBackend",
+    "resolve_n_workers",
+]

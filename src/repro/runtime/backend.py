@@ -1,0 +1,184 @@
+"""Execution backends: one pool abstraction for every fan-out in the library.
+
+Before this layer existed, each subsystem owned a private execution
+mechanism — chunked cohort generation spun up a fresh
+``ProcessPoolExecutor`` per :meth:`Platform.daily_cohort` call, the
+scoring engine only ever ran synchronously in-process, and nothing
+could share workers across a multi-day run.  An
+:class:`ExecutionBackend` is the common currency instead: a lazily
+started, reusable, context-managed pool with the two operations the
+library actually needs (``submit`` a callable, ``shutdown`` the
+workers), implemented three ways:
+
+* :class:`SerialBackend` — runs everything inline and returns
+  already-resolved futures.  Zero concurrency, zero overhead, and
+  bit-identical to the historical single-process behaviour; the
+  default everywhere.
+* :class:`ThreadBackend` — a shared ``ThreadPoolExecutor``.  Dodges
+  pickling entirely (useful for chunk generation of non-picklable
+  consumers and for truly asynchronous scoring-engine flushes, where
+  the GIL is released inside the vectorised numpy calls).
+* :class:`ProcessBackend` — a shared ``ProcessPoolExecutor`` for
+  CPU-bound fan-out (cohort generation).  Submitted callables must be
+  module-level picklables, as usual.
+
+Pools start on the first ``submit`` (constructing a backend costs
+nothing), survive across calls — *one* pool serves all days of an
+:class:`~repro.ab.experiment.ABTest` run — and count their startups in
+``start_count`` so tests can pin the no-churn guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "resolve_n_workers",
+]
+
+
+def resolve_n_workers(n_workers: int | None) -> int:
+    """Normalise an ``n_workers`` argument (``None`` → all visible CPUs)."""
+    if n_workers is None:
+        return os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return int(n_workers)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The execution contract shared by serving, data, and A/B layers.
+
+    Implementations promise: ``submit`` returns a
+    :class:`concurrent.futures.Future`; ``n_workers`` reports the
+    fan-out width (``1`` means "don't bother fanning out");
+    ``start_count`` counts how many times a worker pool was actually
+    created (the pool-churn metric); ``shutdown`` releases workers and
+    is idempotent; the backend is reusable after ``shutdown`` (a new
+    pool starts on the next ``submit``) and usable as a context
+    manager.
+    """
+
+    start_count: int
+
+    @property
+    def n_workers(self) -> int: ...
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
+
+
+class SerialBackend:
+    """Inline execution behind the backend interface.
+
+    ``submit`` runs the callable immediately on the calling thread and
+    returns a future that is already resolved (result or exception).
+    Code written against the backend interface therefore keeps exactly
+    the synchronous semantics — same call order, same exception
+    propagation points — it had before the runtime layer existed.
+    """
+
+    def __init__(self) -> None:
+        self.start_count = 0  # no pool ever starts
+
+    @property
+    def n_workers(self) -> int:
+        return 1
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # the future carries it, as a pool's would
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Nothing to release; kept for interface symmetry."""
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _PoolBackend:
+    """Shared machinery of the thread/process backends: a lazily
+    created, reusable ``concurrent.futures`` pool."""
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self._n_workers = resolve_n_workers(n_workers)
+        self._pool: Executor | None = None
+        self.start_count = 0
+
+    def _make_pool(self) -> Executor:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def running(self) -> bool:
+        """True while a worker pool is alive."""
+        return self._pool is not None
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        if self._pool is None:
+            self._pool = self._make_pool()
+            self.start_count += 1
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the workers; the next ``submit`` starts a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "_PoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "idle"
+        return f"{type(self).__name__}(n_workers={self._n_workers}, {state})"
+
+
+class ThreadBackend(_PoolBackend):
+    """A reusable ``ThreadPoolExecutor`` behind the backend interface.
+
+    Threads share the interpreter: submitted callables need no
+    pickling, and numpy releases the GIL inside its vectorised kernels,
+    so scoring-engine flushes genuinely overlap with the caller.
+    """
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self._n_workers)
+
+
+class ProcessBackend(_PoolBackend):
+    """A reusable ``ProcessPoolExecutor`` behind the backend interface.
+
+    The CPU-bound fan-out workhorse (chunked cohort generation).
+    Submitted callables and their arguments must be picklable
+    module-level objects.  Starting worker processes is the expensive
+    part — which is exactly why the pool is created once and reused
+    across every day of a run instead of per call.
+    """
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self._n_workers)

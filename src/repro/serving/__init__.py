@@ -14,11 +14,19 @@ has to survive until midnight.  This package is that online half:
   score threshold fit on a sliding traffic window with the Algorithm-2
   bisection primitive, tracking a target pacing curve and optionally
   floored at the live ``roi*`` break-even;
+* :class:`MultiDayPacer` — chains pacer days with under/over-spend
+  carryover, so a campaign converges on its cumulative plan instead
+  of leaking each day's residual at midnight;
 * :class:`GreedyROIPolicy` / :class:`ConformalGatedPolicy` — pluggable
   decision scores (point estimate vs conformal lower bound);
 * :class:`TrafficReplay` — stream :class:`~repro.ab.platform.Platform`
   cohorts through the stack and report throughput, spend trajectory,
-  and incremental revenue against the offline greedy oracle.
+  and incremental revenue against the offline greedy oracle; its
+  multi-day mode exercises the cross-day carryover.
+
+Execution concerns — on which workers a flush runs, whose clock a
+deadline reads — live in :mod:`repro.runtime`; every component here
+takes a backend/clock rather than owning one.
 
 Quickstart
 ----------
@@ -32,10 +40,10 @@ Quickstart
 """
 
 from repro.serving.engine import ScoringEngine
-from repro.serving.pacing import BudgetPacer
+from repro.serving.pacing import BudgetPacer, MultiDayPacer
 from repro.serving.policy import ConformalGatedPolicy, DecisionPolicy, GreedyROIPolicy
 from repro.serving.registry import ModelRegistry, ModelVersion
-from repro.serving.simulator import ReplayResult, TrafficReplay
+from repro.serving.simulator import MultiDayReplayResult, ReplayResult, TrafficReplay
 
 __all__ = [
     "BudgetPacer",
@@ -44,6 +52,8 @@ __all__ = [
     "GreedyROIPolicy",
     "ModelRegistry",
     "ModelVersion",
+    "MultiDayPacer",
+    "MultiDayReplayResult",
     "ReplayResult",
     "ScoringEngine",
     "TrafficReplay",

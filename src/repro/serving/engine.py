@@ -1,29 +1,65 @@
-"""Micro-batching scoring engine with an LRU score cache.
+"""Micro-batching scoring engine with deadline flushing and an LRU cache.
 
 Online traffic arrives one user at a time, but every model in this
 codebase is dramatically faster when scored in vectorised batches (an
 MLP forward pass amortises its Python overhead across rows).  The
 :class:`ScoringEngine` bridges the two: requests are buffered per model
-version and scored with **one** vectorised policy call per flush,
-triggered automatically when the buffer reaches ``batch_size`` (and
-manually at stream end).  Identical feature rows — retargeted users,
-bot bursts — short-circuit through an LRU cache keyed by the feature
-hash and the model version, skipping the model entirely.
+version and scored with **one** vectorised policy call per flush.  A
+flush happens for one of three reasons, tallied in
+``stats["flush_batch_full"/"flush_deadline"/"flush_manual"]``:
+
+* **batch_full** — the buffer reached ``batch_size`` (the throughput
+  path);
+* **deadline** — ``max_latency_ms`` elapsed since the oldest buffered
+  request (the latency path: a lonely request on a quiet stream is
+  never stranded waiting for a batch that won't fill).  Deadlines run
+  on a :class:`~repro.runtime.Clock` through a pull-based
+  :class:`~repro.runtime.DeadlineLoop`: ``submit`` and :meth:`poll`
+  check it, so under a :class:`~repro.runtime.ManualClock` the
+  behaviour is exact and simulator-testable;
+* **manual** — an explicit :meth:`flush` call (stream end).
+
+Where the scoring itself runs is delegated to an
+:class:`~repro.runtime.ExecutionBackend`: the default
+:class:`~repro.runtime.SerialBackend` keeps the historical synchronous
+semantics bit-identical (same scores, same stats, same exception
+points), while a :class:`~repro.runtime.ThreadBackend` makes flushes
+genuinely asynchronous — ``flush`` dispatches the policy call to a
+worker and returns; results land via :meth:`poll`/:meth:`join` (numpy
+releases the GIL inside the vectorised call, so scoring overlaps the
+caller).
+
+Identical feature rows — retargeted users, bot bursts —
+short-circuit through an LRU cache keyed by the feature hash and the
+model version, skipping the model entirely.
 
 The request lifecycle is ``submit → (auto)flush → take``; ``score``
-wraps it for synchronous single-request use.
+wraps it for synchronous single-request use.  When a clock is present
+the engine also records every request's submit→score latency in
+``latencies`` (cache hits count as 0; asynchronous batches stamp the
+moment scoring *completed*, not when the caller reaped the result),
+which is what the latency benchmarks and the deadline acceptance
+tests read.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 
 import numpy as np
 
+from repro.runtime import Clock, DeadlineLoop, ExecutionBackend, SerialBackend, SystemClock
 from repro.serving.policy import DecisionPolicy, GreedyROIPolicy
 from repro.serving.registry import ModelRegistry
 
 __all__ = ["ScoringEngine"]
+
+_FLUSH_KEY = "flush"  # the engine's single deadline-loop slot
+
+
+def _score_rows(policy: DecisionPolicy, model: object, rows: np.ndarray) -> np.ndarray:
+    """The unit of backend work: one vectorised policy call."""
+    return policy.score_batch(model, rows)
 
 
 class ScoringEngine:
@@ -43,6 +79,28 @@ class ScoringEngine:
     cache_size:
         Maximum number of ``(version, feature-hash)`` entries in the
         LRU score cache; ``0`` disables caching.
+    max_latency_ms:
+        Deadline flushing: at most this many milliseconds may pass
+        (on ``clock``) between a request entering the buffer and the
+        flush that scores it, however empty the batch is.  ``None``
+        (default) keeps pure batch-full flushing.
+    clock:
+        Time source for deadlines and latency accounting.  Defaults to
+        :class:`~repro.runtime.SystemClock` when ``max_latency_ms`` is
+        set; pass a :class:`~repro.runtime.ManualClock` to drive time
+        explicitly (simulation/tests).  When present, submit→score
+        latencies are appended to :attr:`latencies`.
+    backend:
+        Execution backend for the flush's policy call.  The default
+        :class:`~repro.runtime.SerialBackend` is bit-identical to the
+        pre-runtime engine; :class:`~repro.runtime.ThreadBackend`
+        makes flushes truly asynchronous (reap results with
+        :meth:`poll`, :meth:`join`, or blocking :meth:`score`).
+    latency_log_size:
+        Keep at most this many recent entries in :attr:`latencies`
+        (oldest dropped in blocks; :attr:`latencies_dropped` counts
+        them) so a long-lived clocked engine doesn't grow without
+        bound.  ``None`` disables the cap.
     """
 
     def __init__(
@@ -51,6 +109,10 @@ class ScoringEngine:
         policy: DecisionPolicy | None = None,
         batch_size: int = 32,
         cache_size: int = 4096,
+        max_latency_ms: float | None = None,
+        clock: Clock | None = None,
+        backend: ExecutionBackend | None = None,
+        latency_log_size: int | None = 1_000_000,
     ) -> None:
         if isinstance(models, ModelRegistry):
             self.registry = models
@@ -62,19 +124,48 @@ class ScoringEngine:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if max_latency_ms is not None and not max_latency_ms > 0:
+            raise ValueError(f"max_latency_ms must be > 0, got {max_latency_ms}")
+        if latency_log_size is not None and latency_log_size < 1:
+            raise ValueError(f"latency_log_size must be >= 1, got {latency_log_size}")
         self.batch_size = int(batch_size)
         self.cache_size = int(cache_size)
+        self.max_latency_ms = None if max_latency_ms is None else float(max_latency_ms)
+        if clock is None and max_latency_ms is not None:
+            clock = SystemClock()
+        self.clock = clock
+        self.backend: ExecutionBackend = backend if backend is not None else SerialBackend()
+        self._deadlines = (
+            DeadlineLoop(clock) if (clock is not None and max_latency_ms is not None) else None
+        )
         self._cache: OrderedDict[tuple[int, bytes], float] = OrderedDict()
         # pending rows grouped by model version: version -> [(rid, row)]
         self._pending: dict[int, list[tuple[int, np.ndarray]]] = {}
         self._n_pending = 0
+        # dispatched-but-unreaped batches, in dispatch order; the dict
+        # holds the clock time the batch's scoring completed (stamped
+        # by a done-callback, so async batches measure true completion
+        # rather than whenever the caller happens to reap)
+        self._inflight: deque[
+            tuple[object, int, list[tuple[int, np.ndarray]], dict]
+        ] = deque()
         self._ready: dict[int, float] = {}
+        self._submitted_at: dict[int, float] = {}
         self._next_id = 0
+        self.latency_log_size = latency_log_size
+        #: submit→score latency (seconds) per request, when a clock is
+        #: set (most recent ``latency_log_size`` entries)
+        self.latencies: list[float] = []
+        #: entries evicted from :attr:`latencies` by the size cap
+        self.latencies_dropped = 0
         self.stats = {
             "requests": 0,
             "cache_hits": 0,
             "cache_misses": 0,
             "flushes": 0,
+            "flush_batch_full": 0,
+            "flush_deadline": 0,
+            "flush_manual": 0,
             "model_calls": 0,
             "rows_scored": 0,
         }
@@ -83,7 +174,15 @@ class ScoringEngine:
     # request lifecycle
     # ------------------------------------------------------------------
     def submit(self, x_row: np.ndarray, key: str | int | None = None) -> int:
-        """Enqueue one request; returns its id (auto-flushes when full)."""
+        """Enqueue one request; returns its id.
+
+        Auto-flushes when the buffer fills; first checks the deadline
+        loop, so an overdue batch flushes *before* this request starts
+        a fresh one (its own deadline is armed when it is the first
+        pending request).
+        """
+        if self._deadlines is not None:
+            self._deadlines.poll()
         row = np.ascontiguousarray(np.asarray(x_row, dtype=float).ravel())
         rid = self._next_id
         self._next_id += 1
@@ -96,52 +195,186 @@ class ScoringEngine:
                 self._cache.move_to_end(cache_key)
                 self.stats["cache_hits"] += 1
                 self._ready[rid] = hit
+                if self.clock is not None:
+                    self._log_latency(0.0)
                 return rid
         self.stats["cache_misses"] += 1
+        if self.clock is not None:
+            self._submitted_at[rid] = self.clock.now()
         self._pending.setdefault(version.version, []).append((rid, row))
         self._n_pending += 1
+        if self._n_pending == 1 and self._deadlines is not None:
+            self._deadlines.schedule_in(
+                _FLUSH_KEY, self.max_latency_ms / 1000.0, self._flush_on_deadline
+            )
         if self._n_pending >= self.batch_size:
-            self.flush()
+            self.flush(reason="batch_full")
         return rid
 
-    def flush(self) -> int:
-        """Score every pending request (one policy call per version).
+    def _flush_on_deadline(self) -> None:
+        self.flush(reason="deadline")
 
-        Returns the number of requests scored.
+    def flush(self, reason: str = "manual") -> int:
+        """Dispatch every pending request (one policy call per version).
+
+        Returns the number of requests dispatched.  On the serial
+        backend scoring happens inline, so results are ready (and any
+        model failure raises) before ``flush`` returns — the
+        historical semantics.  On an asynchronous backend the policy
+        calls run on workers; results (and deferred failures) surface
+        once the worker finishes, at the next :meth:`poll` or a
+        blocking :meth:`join` (non-blocking probes like
+        :meth:`has_result` / :meth:`take` only see batches that have
+        already completed).
         """
-        scored = 0
+        if "flush_" + reason not in self.stats:
+            raise ValueError(
+                f"reason must be 'manual', 'batch_full' or 'deadline', got {reason!r}"
+            )
+        dispatched = 0
         if self._n_pending:
             self.stats["flushes"] += 1
-        # pop each batch before scoring so a raising policy/model leaves
-        # the engine consistent (the failed batch is dropped, not re-run)
-        while self._pending:
-            version_id, batch = self._pending.popitem()
-            self._n_pending -= len(batch)
-            model = self.registry.get(version_id).model
-            rows = np.stack([row for _rid, row in batch])
-            scores = np.asarray(
-                self.policy.score_batch(model, rows), dtype=float
-            ).ravel()
-            if scores.shape[0] != rows.shape[0]:
-                raise ValueError(
-                    f"policy returned {scores.shape[0]} scores for "
-                    f"{rows.shape[0]} rows"
-                )
+            self.stats["flush_" + reason] += 1
+        if self._deadlines is not None:
+            self._deadlines.cancel(_FLUSH_KEY)
+        # pop each batch before dispatching so a raising policy/model
+        # leaves the engine consistent (the failed batch is dropped,
+        # not re-run)
+        try:
+            while self._pending:
+                version_id, batch = self._pending.popitem()
+                self._n_pending -= len(batch)
+                model = self.registry.get(version_id).model
+                rows = np.stack([row for _rid, row in batch])
+                future = self.backend.submit(_score_rows, self.policy, model, rows)
+                done_stamp: dict = {}
+                if self.clock is not None:
+                    clock = self.clock
+
+                    def _stamp(_f, _d=done_stamp, _c=clock):
+                        _d["at"] = _c.now()
+
+                    # serial futures are already done: fires inline now,
+                    # preserving the historical flush-time measurement
+                    future.add_done_callback(_stamp)  # type: ignore[attr-defined]
+                self._inflight.append((future, version_id, batch, done_stamp))
+                dispatched += rows.shape[0]
+                if future.done():  # type: ignore[attr-defined]
+                    # serial backend: score (or raise) per batch, exactly
+                    # the pre-runtime sequence — a failing batch stops the
+                    # flush with the remaining batches pending and unscored
+                    self._reap(wait=False)
+            self._reap(wait=False)
+        finally:
+            if self._n_pending and self._deadlines is not None:
+                # a raising batch aborted the flush with other versions'
+                # requests still buffered — they are already overdue, so
+                # re-arm to fire at the very next poll (never leave
+                # survivors without a deadline)
+                self._deadlines.schedule_in(_FLUSH_KEY, 0.0, self._flush_on_deadline)
+        return dispatched
+
+    def _reap(self, wait: bool) -> None:
+        """Collect finished backend futures into ``_ready`` (dispatch order).
+
+        ``wait=True`` blocks until every in-flight batch has resolved.
+        A failed batch re-raises here and is dropped; later in-flight
+        batches stay queued and resolve on subsequent reaps.
+        """
+        while self._inflight:
+            future, version_id, batch, done_stamp = self._inflight[0]
+            if not wait and not future.done():  # type: ignore[attr-defined]
+                break
+            self._inflight.popleft()
+            try:
+                scores = np.asarray(
+                    future.result(), dtype=float  # type: ignore[attr-defined]
+                ).ravel()
+                if scores.shape[0] != len(batch):
+                    raise ValueError(
+                        f"policy returned {scores.shape[0]} scores for {len(batch)} rows"
+                    )
+            except BaseException:
+                # the failed batch is dropped whole — forget its stamps
+                for rid, _row in batch:
+                    self._submitted_at.pop(rid, None)
+                raise
             self.stats["model_calls"] += 1
-            self.stats["rows_scored"] += rows.shape[0]
+            self.stats["rows_scored"] += len(batch)
+            if self.clock is not None:
+                # scoring-completion time from the done-callback; the
+                # tiny race where done() flips before callbacks run
+                # falls back to the reap time
+                now = done_stamp.get("at", self.clock.now())
+            else:
+                now = None
             for (rid, row), score in zip(batch, scores):
                 self._ready[rid] = float(score)
+                if now is not None:
+                    self._log_latency(now - self._submitted_at.pop(rid, now))
                 if self.cache_size > 0:
                     self._remember((version_id, row.tobytes()), float(score))
-            scored += rows.shape[0]
-        return scored
+
+    def _log_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+        cap = self.latency_log_size
+        if cap is not None and len(self.latencies) > 2 * cap:
+            # drop the oldest half-block; amortised O(1) per append
+            drop = len(self.latencies) - cap
+            del self.latencies[:drop]
+            self.latencies_dropped += drop
+
+    def poll(self) -> int:
+        """Advance the engine without submitting: fire any overdue
+        deadline flush and reap finished asynchronous batches.
+
+        Returns the number of deadline flushes fired.  The idle-stream
+        hook: callers with their own event loop (the traffic
+        simulator, a server's timer tick) call this between arrivals
+        so a quiet stream still honours ``max_latency_ms``.
+        """
+        fired = self._deadlines.poll() if self._deadlines is not None else 0
+        self._reap(wait=False)
+        return fired
+
+    def join(self) -> None:
+        """Block until every dispatched batch has been scored.
+
+        No-op on the serial backend (nothing is ever left in flight).
+        """
+        self._reap(wait=True)
+
+    def next_deadline(self) -> float | None:
+        """Clock time of the pending flush deadline, or None.
+
+        Lets an event loop driving a :class:`~repro.runtime.ManualClock`
+        stop *at* the deadline instead of jumping past it — the traffic
+        simulator uses this to keep the latency bound exact for any
+        inter-arrival gap.
+        """
+        return self._deadlines.next_deadline() if self._deadlines is not None else None
 
     def has_result(self, request_id: int) -> bool:
-        """True once the request's score is available."""
+        """True once the request's score is available.
+
+        Advances the engine like :meth:`poll` does — overdue deadline
+        flushes fire and finished asynchronous batches are reaped — so
+        a waiter spinning on ``has_result`` alone still gets the
+        ``max_latency_ms`` guarantee.
+        """
+        if self._deadlines is not None:
+            self._deadlines.poll()
+        if self._inflight:
+            self._reap(wait=False)
         return request_id in self._ready
 
     def take(self, request_id: int) -> float:
         """Pop a finished score (KeyError when still pending/unknown)."""
+        if request_id not in self._ready:
+            if self._deadlines is not None:
+                self._deadlines.poll()
+            if self._inflight:
+                self._reap(wait=False)
         return self._ready.pop(request_id)
 
     def score(self, x_row: np.ndarray, key: str | int | None = None) -> float:
@@ -149,6 +382,7 @@ class ScoringEngine:
         rid = self.submit(x_row, key=key)
         if rid not in self._ready:
             self.flush()
+            self.join()
         return self.take(rid)
 
     def score_batch(self, x: np.ndarray, key: str | int | None = None) -> np.ndarray:
@@ -184,8 +418,13 @@ class ScoringEngine:
 
     @property
     def n_pending(self) -> int:
-        """Requests buffered and not yet flushed."""
+        """Requests buffered and not yet dispatched."""
         return self._n_pending
+
+    @property
+    def n_inflight(self) -> int:
+        """Dispatched batches not yet reaped (asynchronous backends)."""
+        return len(self._inflight)
 
     @property
     def cache_hit_rate(self) -> float:

@@ -23,6 +23,12 @@ only when ROI clears roi*" rule, applied to the live stream.
 Two invariants hold by construction: cumulative spend never exceeds
 the budget, and never exceeds the pacing curve by more than
 ``curve_slack`` of the budget.
+
+Days chain through :class:`MultiDayPacer`: each day is a plain
+:class:`BudgetPacer` (both invariants intact), and the day's realised
+under/over-spend rolls into the next day's budget — and, in ``"early"``
+mode, tilts its pacing curve — so a multi-day campaign converges on
+its cumulative plan instead of leaking every day's residual.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ import numpy as np
 
 from repro.core.roi_star import binary_search_roi_star, bisect_monotone
 
-__all__ = ["BudgetPacer"]
+__all__ = ["BudgetPacer", "MultiDayPacer"]
 
 
 def _uniform_curve(progress: float) -> float:
@@ -235,3 +241,170 @@ class BudgetPacer:
     def admit_rate(self) -> float:
         """Fraction of arrivals admitted so far."""
         return self.n_admitted / self.n_seen if self.n_seen else 0.0
+
+
+class MultiDayPacer:
+    """Chain :class:`BudgetPacer` days with under/over-spend carryover.
+
+    A single :class:`BudgetPacer` forgets everything at midnight: day
+    *d*'s unspent budget evaporates and day *d+1* starts from its flat
+    daily allowance.  Over a campaign that wastes real money — the
+    strict budget boundary plus threshold conservatism leave every day
+    a little short, and the shortfalls compound.  ``MultiDayPacer``
+    rolls the residual forward instead: day *d+1*'s pacer is built
+    with budget ``base_{d+1} + (budget_d - spent_d)``, so under-spend
+    relative to the plan raises the next day's curve and over-spend
+    relative to the *base* allowance (possible exactly when an earlier
+    day's carry funded it) lowers it.  Telescoping the recursion gives
+    the campaign invariant for free::
+
+        sum_d spent_d  =  sum_d base_d - final_carry  <=  total budget
+
+    with equality only when the final day spends to the boundary —
+    each day's own invariants (never over budget, never ahead of curve
+    + slack) continue to hold unchanged, because each day *is* a plain
+    :class:`BudgetPacer`.
+
+    How the carry lands on the next day's curve is ``carryover_mode``:
+
+    * ``"spread"`` (default) — the enlarged budget keeps the base
+      curve shape, spreading the carry evenly across the day;
+    * ``"early"`` — the curve is tilted to release the carried amount
+      at the start of the day (``curve'(p) = (carry + base *
+      curve(p)) / (carry + base)``), catching the campaign up to its
+      cumulative plan as fast as traffic allows.
+
+    Drive it one day at a time: :meth:`start_day` → stream
+    ``offer``/``observe_outcome`` through the returned (or delegated)
+    pacer → :meth:`end_day`.  :class:`~repro.serving.simulator
+    .TrafficReplay.replay_days` does exactly this.
+
+    Parameters
+    ----------
+    daily_budget:
+        Default per-day base allowance (override per day via
+        :meth:`start_day`).
+    horizon:
+        Default expected arrivals per day (override per day).
+    carryover:
+        Fraction of each day's residual rolled into the next day
+        (``1`` = full carryover, ``0`` = today's amnesiac behaviour).
+    carryover_mode:
+        ``"spread"`` or ``"early"`` (see above).
+    pacer_params:
+        Extra keyword arguments for every day's :class:`BudgetPacer`
+        (``window``, ``warmup``, ``target_curve``, ...).
+    """
+
+    def __init__(
+        self,
+        daily_budget: float | None = None,
+        horizon: int | None = None,
+        *,
+        carryover: float = 1.0,
+        carryover_mode: str = "spread",
+        pacer_params: dict | None = None,
+    ) -> None:
+        if daily_budget is not None and not daily_budget >= 0:
+            raise ValueError(f"daily_budget must be >= 0, got {daily_budget}")
+        if not 0.0 <= carryover <= 1.0:
+            raise ValueError(f"carryover must be in [0, 1], got {carryover}")
+        if carryover_mode not in ("spread", "early"):
+            raise ValueError(
+                f"carryover_mode must be 'spread' or 'early', got {carryover_mode!r}"
+            )
+        self.daily_budget = daily_budget
+        self.horizon = horizon
+        self.carryover = float(carryover)
+        self.carryover_mode = carryover_mode
+        self.pacer_params = dict(pacer_params or {})
+        self.carry = 0.0
+        self.current: BudgetPacer | None = None
+        self.days: list[BudgetPacer] = []
+        #: per-completed-day accounting: (base_budget, day_budget, spent, carry_out)
+        self.ledger: list[tuple[float, float, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # day lifecycle
+    # ------------------------------------------------------------------
+    def start_day(
+        self, base_budget: float | None = None, horizon: int | None = None
+    ) -> BudgetPacer:
+        """Open the next day: a fresh :class:`BudgetPacer` holding
+        ``base_budget + carried residual``."""
+        if self.current is not None:
+            raise RuntimeError("previous day still open — call end_day() first")
+        base = self.daily_budget if base_budget is None else float(base_budget)
+        if base is None:
+            raise ValueError("no base_budget given and no daily_budget default set")
+        if not base >= 0:
+            raise ValueError(f"base_budget must be >= 0, got {base}")
+        n = self.horizon if horizon is None else int(horizon)
+        if n is None:
+            raise ValueError("no horizon given and no horizon default set")
+        params = dict(self.pacer_params)
+        budget = base + self.carry
+        if self.carryover_mode == "early" and self.carry > 0.0 and budget > 0.0:
+            base_curve = params.get("target_curve") or _uniform_curve
+            carry, base_b = self.carry, base  # freeze for the closure
+
+            def tilted(progress: float) -> float:
+                # release the carried residual up front, then pace the
+                # base allowance along its own curve; reaches 1 at p=1
+                return (carry + base_b * float(base_curve(progress))) / (carry + base_b)
+
+            params["target_curve"] = tilted
+        self._base = base
+        self.current = BudgetPacer(budget, n, **params)
+        self.days.append(self.current)
+        return self.current
+
+    def end_day(self) -> float:
+        """Close the open day and bank its residual; returns the new carry."""
+        if self.current is None:
+            raise RuntimeError("no open day — call start_day() first")
+        residual = self.current.budget - self.current.spent
+        carry_out = self.carryover * max(0.0, residual)
+        self.ledger.append(
+            (self._base, self.current.budget, self.current.spent, carry_out)
+        )
+        self.carry = carry_out
+        self.current = None
+        return self.carry
+
+    # ------------------------------------------------------------------
+    # in-day delegation (so the pacer can stand in for a BudgetPacer)
+    # ------------------------------------------------------------------
+    def offer(self, score: float, cost: float) -> bool:
+        """Delegate one arrival to the open day's pacer."""
+        if self.current is None:
+            raise RuntimeError("no open day — call start_day() first")
+        return self.current.offer(score, cost)
+
+    def observe_outcome(self, t: int, y_r: float, y_c: float) -> None:
+        """Delegate outcome feedback to the open day's pacer."""
+        if self.current is None:
+            raise RuntimeError("no open day — call start_day() first")
+        self.current.observe_outcome(t, y_r, y_c)
+
+    # ------------------------------------------------------------------
+    # campaign accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_days_completed(self) -> int:
+        return len(self.ledger)
+
+    @property
+    def total_base_budget(self) -> float:
+        """Sum of completed days' base allowances (the campaign plan)."""
+        return float(sum(base for base, _b, _s, _c in self.ledger))
+
+    @property
+    def total_spent(self) -> float:
+        """Realised spend across completed days.
+
+        Always ``<= total_base_budget`` when ``carryover <= 1``
+        (telescoping the carry recursion), strictly below whenever the
+        final day left any residual.
+        """
+        return float(sum(spent for _base, _b, spent, _c in self.ledger))

@@ -1,4 +1,4 @@
-"""Replay a day of platform traffic through the online serving stack.
+"""Replay platform traffic through the online serving stack.
 
 :class:`TrafficReplay` is the end-to-end harness tying the subsystem
 together: a :class:`~repro.ab.platform.Platform` cohort is streamed
@@ -11,6 +11,20 @@ incremental revenue relative to the *offline greedy oracle*: Algorithm
 1 run on the same scores with the whole day visible at once.  An
 online policy can at best match the oracle; the replay quantifies the
 price of streaming.
+
+Two runtime-layer features thread through the replay:
+
+* **Simulated time** — when the engine carries a
+  :class:`~repro.runtime.ManualClock` and ``interarrival_s`` is set,
+  the replay advances the clock by that gap before each arrival, so
+  deadline-driven flushing (``max_latency_ms``) runs under exact,
+  deterministic time and the engine's ``latencies`` record the true
+  submit→score waits.
+* **Multi-day campaigns** — :meth:`TrafficReplay.replay_days` chains
+  days through a :class:`~repro.serving.pacing.MultiDayPacer`, so day
+  *d*'s under-spend tilts day *d+1*'s pacing, and returns the
+  campaign-level accounting alongside each day's
+  :class:`ReplayResult`.
 """
 
 from __future__ import annotations
@@ -23,11 +37,12 @@ import numpy as np
 
 from repro.ab.platform import Platform
 from repro.core.allocation import greedy_allocation
+from repro.runtime import ManualClock
 from repro.serving.engine import ScoringEngine
-from repro.serving.pacing import BudgetPacer
+from repro.serving.pacing import BudgetPacer, MultiDayPacer
 from repro.utils.rng import as_generator
 
-__all__ = ["TrafficReplay", "ReplayResult"]
+__all__ = ["MultiDayReplayResult", "TrafficReplay", "ReplayResult"]
 
 
 @dataclass
@@ -39,6 +54,9 @@ class ReplayResult:
     tightly the pacer tracked its target.  ``oracle_*`` fields hold the
     offline greedy solution on identical scores; ``revenue_ratio`` is
     online / oracle incremental revenue (1.0 = no price of streaming).
+    ``engine_stats`` and ``latencies`` cover *this replay only* (an
+    engine reused across days reports per-day deltas, not cumulative
+    counters).
     """
 
     n_events: int
@@ -55,11 +73,19 @@ class ReplayResult:
     treated: np.ndarray
     engine_stats: dict = field(default_factory=dict)
     pacing_history: list = field(default_factory=list)
+    latencies: np.ndarray | None = None
 
     @property
     def revenue_ratio(self) -> float:
         """Online incremental revenue as a fraction of the oracle's."""
         return self.incremental_revenue / max(self.oracle_revenue, 1e-12)
+
+    def latency_quantile(self, q: float) -> float:
+        """Submit→score latency quantile in clock seconds (needs a
+        clocked engine; see :class:`~repro.serving.engine.ScoringEngine`)."""
+        if self.latencies is None or self.latencies.size == 0:
+            raise ValueError("no latencies recorded — run with a clocked engine")
+        return float(np.quantile(self.latencies, q))
 
     def summary(self) -> dict:
         """Headline numbers for logs and examples."""
@@ -75,6 +101,53 @@ class ReplayResult:
         }
 
 
+@dataclass
+class MultiDayReplayResult:
+    """A multi-day campaign replayed with cross-day budget carryover.
+
+    ``days[d]`` is an ordinary per-day :class:`ReplayResult` whose
+    ``budget`` already includes the carry rolled in from day ``d``'s
+    predecessors; ``ledger`` mirrors
+    :attr:`~repro.serving.pacing.MultiDayPacer.ledger` — one
+    ``(base_budget, day_budget, spent, carry_out)`` row per day.
+    """
+
+    days: list[ReplayResult] = field(default_factory=list)
+    ledger: list = field(default_factory=list)
+
+    @property
+    def n_days(self) -> int:
+        return len(self.days)
+
+    @property
+    def total_base_budget(self) -> float:
+        """The campaign plan: sum of per-day base allowances."""
+        return float(sum(base for base, _b, _s, _c in self.ledger))
+
+    @property
+    def total_spend(self) -> float:
+        """Realised campaign spend (``<= total_base_budget`` always)."""
+        return float(sum(day.spend for day in self.days))
+
+    @property
+    def total_incremental_revenue(self) -> float:
+        return float(sum(day.incremental_revenue for day in self.days))
+
+    @property
+    def carryovers(self) -> list[float]:
+        """Residual rolled out of each day into the next."""
+        return [carry for _base, _b, _s, carry in self.ledger]
+
+    def summary(self) -> dict:
+        return {
+            "n_days": self.n_days,
+            "total_spend": round(self.total_spend, 2),
+            "total_base_budget": round(self.total_base_budget, 2),
+            "total_incremental_revenue": round(self.total_incremental_revenue, 2),
+            "carryovers": [round(c, 2) for c in self.carryovers],
+        }
+
+
 class TrafficReplay:
     """Stream platform cohorts through the engine + pacer, event by event.
 
@@ -84,11 +157,17 @@ class TrafficReplay:
         The simulated traffic source.
     engine:
         A configured :class:`ScoringEngine` (its registry's champion —
-        and challenger, if staged — serve the scores).
+        and challenger, if staged — serve the scores).  Give it a
+        :class:`~repro.runtime.ManualClock` and ``max_latency_ms`` to
+        exercise deadline flushing under simulated time.
     feedback:
         When True, realised outcomes of decided users are fed back to
         the pacer (:meth:`BudgetPacer.observe_outcome`), enabling its
         ``roi*`` profitability floor.
+    interarrival_s:
+        Simulated gap between consecutive arrivals.  Requires the
+        engine's clock to be a :class:`~repro.runtime.ManualClock`;
+        the replay advances it by this gap before each submit.
     random_state:
         Seed/generator for realising feedback outcomes.
     """
@@ -98,11 +177,21 @@ class TrafficReplay:
         platform: Platform,
         engine: ScoringEngine,
         feedback: bool = False,
+        interarrival_s: float | None = None,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
+        if interarrival_s is not None:
+            if not interarrival_s >= 0:
+                raise ValueError(f"interarrival_s must be >= 0, got {interarrival_s}")
+            if not isinstance(engine.clock, ManualClock):
+                raise ValueError(
+                    "interarrival_s needs an engine with a ManualClock "
+                    "(simulated time cannot advance a system clock)"
+                )
         self.platform = platform
         self.engine = engine
         self.feedback = bool(feedback)
+        self.interarrival_s = interarrival_s
         self._rng = as_generator(random_state)
 
     def replay_day(
@@ -136,17 +225,71 @@ class TrafficReplay:
             pacer = BudgetPacer(budget, n_users, **(pacer_params or {}))
         else:
             budget = pacer.budget
+        return self._stream_cohort(cohort, pacer, budget)
 
+    def replay_days(
+        self,
+        n_days: int,
+        n_users: int,
+        budget_fraction: float = 0.3,
+        daily_budget: float | None = None,
+        pacer_params: dict | None = None,
+        carryover: float = 1.0,
+        carryover_mode: str = "spread",
+    ) -> MultiDayReplayResult:
+        """Stream a multi-day campaign with cross-day budget carryover.
+
+        Each day's *base* allowance is ``daily_budget`` (or
+        ``budget_fraction`` of that day's full-treatment expected
+        cost); a :class:`~repro.serving.pacing.MultiDayPacer` rolls
+        every day's residual into the next day's pacing, so the
+        campaign spend converges on the cumulative plan while each
+        day's pacer keeps its single-day invariants.
+        """
+        if n_days < 1:
+            raise ValueError(f"n_days must be >= 1, got {n_days}")
+        multi = MultiDayPacer(
+            daily_budget=daily_budget,
+            horizon=n_users,
+            carryover=carryover,
+            carryover_mode=carryover_mode,
+            pacer_params=pacer_params,
+        )
+        result = MultiDayReplayResult()
+        for day in range(1, n_days + 1):
+            cohort = self.platform.daily_cohort(n_users, day)
+            if daily_budget is None:
+                base = budget_fraction * float(np.sum(cohort.tau_c))
+            else:
+                base = float(daily_budget)
+            pacer = multi.start_day(base_budget=base)
+            result.days.append(self._stream_cohort(cohort, pacer, pacer.budget))
+            multi.end_day()
+        result.ledger = list(multi.ledger)
+        return result
+
+    def _stream_cohort(self, cohort, pacer: BudgetPacer, budget: float) -> ReplayResult:
+        """The shared streaming core: score every arrival, pace every spend.
+
+        Used by :meth:`replay_day` (one pacer, one day) and
+        :meth:`replay_days` (each day's pacer handed in by the
+        :class:`MultiDayPacer`); the cohort already carries its
+        day-of-week effects, so no day index is needed here.
+        """
         scores = np.full(cohort.n, np.nan)
         treated = np.zeros(cohort.n, dtype=bool)
         trajectory = np.zeros(cohort.n)
         n_decided = 0
+        # absolute index into the engine's (possibly size-capped) log
+        latency_start = self.engine.latencies_dropped + len(self.engine.latencies)
+        stats_before = dict(self.engine.stats)  # engines may serve many days
         waiting: deque[tuple[int, int]] = deque()  # (request_id, cohort index)
 
         def drain(force: bool = False) -> None:
             nonlocal n_decided
             if force:
                 self.engine.flush()
+                self.engine.join()
             while waiting and self.engine.has_result(waiting[0][0]):
                 rid, i = waiting.popleft()
                 score = self.engine.take(rid)
@@ -163,9 +306,23 @@ class TrafficReplay:
                     y_c = float(draw[1] < cohort.tau_c[i]) if admit else 0.0
                     pacer.observe_outcome(int(admit), y_r, y_c)
 
+        clock = self.engine.clock if self.interarrival_s is not None else None
         start = time.perf_counter()
         for i, x_row in self.platform.iter_events(cohort):
+            if clock is not None:
+                # a flush deadline inside this inter-arrival gap must
+                # fire *at* the deadline, not when the next arrival
+                # happens to look — stop the clock there and poll, so
+                # the latency bound is exact for any gap size
+                target = clock.now() + self.interarrival_s
+                due = self.engine.next_deadline()
+                if due is not None and due < target:
+                    clock.advance(max(0.0, due - clock.now()))
+                    self.engine.poll()
+                    drain()
+                clock.advance(max(0.0, target - clock.now()))
             waiting.append((self.engine.submit(x_row), i))
+            self.engine.poll()
             drain()
         drain(force=True)
         elapsed = time.perf_counter() - start
@@ -177,6 +334,16 @@ class TrafficReplay:
             )
         oracle = greedy_allocation(
             scores, cohort.tau_c, budget, rewards=cohort.tau_r
+        )
+        latencies = (
+            np.asarray(
+                self.engine.latencies[
+                    max(0, latency_start - self.engine.latencies_dropped):
+                ],
+                dtype=float,
+            )
+            if self.engine.clock is not None
+            else None
         )
         return ReplayResult(
             n_events=cohort.n,
@@ -191,6 +358,9 @@ class TrafficReplay:
             events_per_second=cohort.n / max(elapsed, 1e-12),
             spend_trajectory=trajectory,
             treated=treated,
-            engine_stats=dict(self.engine.stats),
+            engine_stats={
+                k: v - stats_before.get(k, 0) for k, v in self.engine.stats.items()
+            },
             pacing_history=list(pacer.history),
+            latencies=latencies,
         )

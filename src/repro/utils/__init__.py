@@ -6,6 +6,7 @@ always threaded through :class:`numpy.random.Generator` objects.
 """
 
 from repro.utils.rng import SeedStream, as_generator, spawn_generators
+from repro.utils.stats import MeanCI, betainc, mean_confidence_interval, t_cdf, t_ppf
 from repro.utils.validation import (
     check_1d,
     check_2d,
@@ -17,9 +18,14 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "MeanCI",
     "SeedStream",
     "as_generator",
+    "betainc",
+    "mean_confidence_interval",
     "spawn_generators",
+    "t_cdf",
+    "t_ppf",
     "check_1d",
     "check_2d",
     "check_binary",

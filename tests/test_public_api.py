@@ -17,6 +17,7 @@ SUBPACKAGES = (
     "repro.linear",
     "repro.metrics",
     "repro.nn",
+    "repro.runtime",
     "repro.serving",
     "repro.trees",
     "repro.utils",
@@ -25,7 +26,7 @@ SUBPACKAGES = (
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

@@ -183,6 +183,64 @@ class TestPolicyReplayCRN:
         assert np.mean(result.uplift_delta("oracle-ish", "anti", "m")) > 0
 
 
+class TestDeltaCI:
+    """Paired significance on CRN deltas (the ROADMAP open item)."""
+
+    def test_identical_sets_give_a_degenerate_interval_at_zero(self, platform):
+        w = _roi_weights()
+        result = PolicyReplay(
+            platform,
+            {"left": {"m": lambda x: x @ w}, "right": {"m": lambda x: x @ w}},
+            random_state=3,
+        ).run(n_days=3, cohort_size=400)
+        ci = result.delta_ci("left", "right", "m")
+        assert (ci.lo, ci.mean, ci.hi) == (0.0, 0.0, 0.0)
+        assert ci.n == 3
+
+    def test_pinned_interval_matches_manual_t_formula(self):
+        """delta_ci must be exactly the paired t-interval on the
+        uplift_delta series — pinned against the hand formula."""
+        from repro.utils.stats import t_ppf
+
+        w = _roi_weights()
+        result = PolicyReplay(
+            Platform(dataset="criteo", random_state=0),
+            {"good": {"m": lambda x: x @ w}, "weak": {"m": _constant_policy}},
+            budget_fraction=0.4,
+            random_state=11,
+        ).run(n_days=5, cohort_size=600)
+        deltas = np.asarray(result.uplift_delta("good", "weak", "m"))
+        ci = result.delta_ci("good", "weak", "m", level=0.95)
+        half = t_ppf(0.975, 4) * deltas.std(ddof=1) / np.sqrt(5)
+        assert ci.mean == pytest.approx(float(deltas.mean()), rel=1e-12)
+        assert ci.half_width == pytest.approx(float(half), rel=1e-9)
+        assert ci.lo == pytest.approx(ci.mean - ci.half_width)
+        assert ci.hi == pytest.approx(ci.mean + ci.half_width)
+        assert ci.level == 0.95 and ci.n == 5
+
+    def test_good_policy_beats_its_negation_significantly(self):
+        """On paired draws the oracle-direction-vs-anti delta is so
+        large and stable that the 95% CI must exclude zero."""
+        w = _roi_weights()
+        result = PolicyReplay(
+            Platform(dataset="criteo", random_state=1),
+            {"good": {"m": lambda x: x @ w}, "anti": {"m": lambda x: -(x @ w)}},
+            random_state=1,
+        ).run(n_days=4, cohort_size=800)
+        ci = result.delta_ci("good", "anti", "m")
+        assert ci.mean > 0
+        assert ci.excludes_zero()
+
+    def test_needs_at_least_two_days(self, platform):
+        result = PolicyReplay(
+            platform,
+            {"a": {"m": _constant_policy}, "b": {"m": _constant_policy}},
+            random_state=0,
+        ).run(n_days=1, cohort_size=400)
+        with pytest.raises(ValueError, match=">= 2"):
+            result.delta_ci("a", "b", "m")
+
+
 class TestCRNVarianceReduction:
     def test_paired_deltas_less_variable_than_independent(self):
         """The satellite acceptance test: the greedy-vs-weak uplift

@@ -9,8 +9,9 @@ from hypothesis import strategies as st
 
 from repro.ab.platform import Platform
 from repro.core.roi_star import bisect_monotone
+from repro.runtime import ManualClock, SerialBackend, ThreadBackend
 from repro.serving.engine import ScoringEngine
-from repro.serving.pacing import BudgetPacer
+from repro.serving.pacing import BudgetPacer, MultiDayPacer
 from repro.serving.policy import ConformalGatedPolicy
 from repro.serving.registry import ModelRegistry
 from repro.serving.simulator import TrafficReplay
@@ -269,6 +270,500 @@ class TestScoringEngine:
             ScoringEngine(stub_model, batch_size=0)
         with pytest.raises(ValueError, match="cache_size"):
             ScoringEngine(stub_model, cache_size=-1)
+        with pytest.raises(ValueError, match="max_latency_ms"):
+            ScoringEngine(stub_model, max_latency_ms=0.0)
+
+    def test_serial_pinned_behaviour(self, rng):
+        """The pre-runtime engine spec, pinned: on the default serial
+        backend, a mixed stream (batch flushes, cache hits, manual
+        tail flush) produces exactly the direct model scores and
+        exactly these stats — the refactor must be bit-invisible."""
+        calls: list[int] = []
+        model = LinearROI(np.ones(6) * 0.04, calls=calls)
+        engine = ScoringEngine(model, batch_size=4, cache_size=64)
+        unique = rng.normal(size=(6, 6))
+        stream = np.concatenate([unique, unique[:4]])  # 4 repeats at the tail
+        ids = [engine.submit(row) for row in stream]
+        engine.flush()
+        got = np.array([engine.take(rid) for rid in ids])
+        expect = model.predict_roi(np.vstack([unique, unique[:4]]))
+        np.testing.assert_allclose(got, expect, rtol=1e-12)
+        # rows 0-3 auto-flush (batch_full); rows 4-5 wait; repeats of
+        # 0-3 hit the cache; the manual flush scores the remainder
+        assert calls[:-1] == [4, 2]  # one vectorised call per flush (+ expect calc)
+        assert engine.stats["requests"] == 10
+        assert engine.stats["cache_hits"] == 4
+        assert engine.stats["cache_misses"] == 6
+        assert engine.stats["flushes"] == 2
+        assert engine.stats["flush_batch_full"] == 1
+        assert engine.stats["flush_manual"] == 1
+        assert engine.stats["flush_deadline"] == 0
+        assert engine.stats["model_calls"] == 2
+        assert engine.stats["rows_scored"] == 6
+        assert engine.n_pending == 0 and engine.n_inflight == 0
+
+    def test_failing_batch_leaves_other_versions_pending(self, rng):
+        """Pre-runtime exception semantics, pinned: when one version's
+        batch raises during a flush, batches of *other* versions must
+        stay pending and their models must not have been called."""
+
+        class Boom:
+            def predict_roi(self, x):
+                raise RuntimeError("version A down")
+
+        calls: list[int] = []
+        healthy = LinearROI(np.zeros(4), calls=calls)
+        reg = ModelRegistry(traffic_split=0.5, random_state=0)
+        reg.register(healthy)  # v1 champion
+        reg.register(Boom())  # v2 challenger on half the keys
+        key_healthy = next(k for k in range(100) if reg.route(k).version == 1)
+        key_boom = next(k for k in range(100) if reg.route(k).version == 2)
+        engine = ScoringEngine(reg, batch_size=100, cache_size=0)
+        engine.submit(rng.normal(size=4), key=key_healthy)
+        engine.submit(rng.normal(size=4), key=key_boom)
+        assert engine.n_pending == 2
+        with pytest.raises(RuntimeError, match="version A down"):
+            engine.flush()
+        # exactly one batch was dropped; the other is still pending and
+        # its model untouched — same as before the runtime refactor
+        assert engine.n_pending == 1
+        assert calls == []
+        engine.flush()  # the healthy batch scores on the next flush
+        assert calls == [1]
+        assert engine.n_pending == 0
+
+    def test_latency_log_is_bounded(self, stub_model, rng):
+        engine = ScoringEngine(
+            stub_model, batch_size=1, cache_size=0,
+            clock=ManualClock(), latency_log_size=50,
+        )
+        for row in rng.normal(size=(200, 12)):
+            engine.submit(row)
+        assert len(engine.latencies) <= 100  # 2x cap before compaction
+        assert engine.latencies_dropped + len(engine.latencies) == 200
+        assert engine._submitted_at == {}  # every stamp consumed
+
+    def test_score_count_mismatch_does_not_leak_stamps(self, rng):
+        class WrongShape:
+            def predict_roi(self, x):
+                return np.zeros(np.atleast_2d(x).shape[0] + 1)
+
+        engine = ScoringEngine(
+            WrongShape(), batch_size=2, cache_size=0, clock=ManualClock()
+        )
+        engine.submit(rng.normal(size=3))
+        with pytest.raises(ValueError, match="scores"):
+            engine.submit(rng.normal(size=3))  # auto-flush hits the mismatch
+        assert engine._submitted_at == {}  # dropped batch forgot its stamps
+
+    def test_explicit_serial_backend_matches_default(self, stub_model, rng):
+        x = rng.normal(size=(20, 12))
+        default = ScoringEngine(stub_model, batch_size=8, cache_size=0)
+        explicit = ScoringEngine(
+            stub_model, batch_size=8, cache_size=0, backend=SerialBackend()
+        )
+        got_d = np.array([default.score(row) for row in x])
+        got_e = np.array([explicit.score(row) for row in x])
+        np.testing.assert_array_equal(got_d, got_e)
+        assert default.stats == explicit.stats
+
+
+# ---------------------------------------------------------------------------
+# deadline-driven flushing (runtime clock integration)
+# ---------------------------------------------------------------------------
+class TestDeadlineFlush:
+    def _engine(self, model, **kwargs):
+        clock = ManualClock()
+        defaults = dict(batch_size=100, cache_size=0, max_latency_ms=5.0, clock=clock)
+        defaults.update(kwargs)
+        return ScoringEngine(model, **defaults), clock
+
+    def test_poll_flushes_overdue_batch(self, stub_model, rng):
+        engine, clock = self._engine(stub_model)
+        rid = engine.submit(rng.normal(size=12))
+        assert not engine.has_result(rid)  # batch of 1, far from full
+        clock.advance(0.004)
+        assert engine.poll() == 0  # 4ms < 5ms deadline
+        assert not engine.has_result(rid)
+        clock.advance(0.002)
+        assert engine.poll() == 1  # 6ms > 5ms: deadline flush fired
+        assert engine.has_result(rid)
+        assert engine.stats["flush_deadline"] == 1
+        assert engine.stats["flush_batch_full"] == 0
+
+    def test_has_result_and_take_fire_overdue_deadlines(self, stub_model, rng):
+        """A waiter spinning on has_result()/take() alone must still
+        get the max_latency_ms guarantee — every engine entry point
+        advances the deadline loop."""
+        engine, clock = self._engine(stub_model)
+        rid = engine.submit(rng.normal(size=12))
+        clock.advance(0.006)
+        assert engine.has_result(rid)  # fired the flush itself, no poll()
+        assert engine.stats["flush_deadline"] == 1
+        rid2 = engine.submit(rng.normal(size=12))
+        clock.advance(0.006)
+        assert isinstance(engine.take(rid2), float)  # take() fires it too
+        assert engine.stats["flush_deadline"] == 2
+
+    def test_submit_fires_overdue_deadline_first(self, stub_model, rng):
+        """A new arrival must not join a batch that is already overdue."""
+        engine, clock = self._engine(stub_model)
+        r1 = engine.submit(rng.normal(size=12))
+        clock.advance(0.006)
+        r2 = engine.submit(rng.normal(size=12))  # poll happens at entry
+        assert engine.has_result(r1)  # old batch flushed on its deadline
+        assert not engine.has_result(r2)  # new batch, fresh 5ms deadline
+        assert engine.stats["flush_deadline"] == 1
+        clock.advance(0.005)
+        engine.poll()
+        assert engine.has_result(r2)
+
+    def test_deadline_rearms_per_batch_not_per_request(self, stub_model, rng):
+        """The deadline anchors on the *oldest* buffered request."""
+        engine, clock = self._engine(stub_model)
+        engine.submit(rng.normal(size=12))
+        for _ in range(3):  # later arrivals must not push the deadline out
+            clock.advance(0.001)
+            engine.submit(rng.normal(size=12))
+        clock.advance(0.0021)  # 5.1ms after the first request
+        assert engine.poll() == 1
+        assert engine.stats["rows_scored"] == 4
+
+    def test_batch_full_still_wins_under_deadline(self, stub_model, rng):
+        engine, clock = self._engine(stub_model, batch_size=3)
+        ids = [engine.submit(row) for row in rng.normal(size=(3, 12))]
+        assert all(engine.has_result(rid) for rid in ids)  # full before due
+        assert engine.stats["flush_batch_full"] == 1
+        assert engine.stats["flush_deadline"] == 0
+        clock.advance(1.0)
+        assert engine.poll() == 0  # nothing pending, nothing to fire
+
+    def test_latencies_recorded_and_cache_hits_are_free(self, stub_model, rng):
+        engine, clock = self._engine(stub_model, cache_size=32)
+        row = rng.normal(size=12)
+        engine.submit(row)
+        clock.advance(0.006)
+        engine.poll()
+        engine.submit(row)  # identical row: cache hit, zero latency
+        assert engine.latencies == pytest.approx([0.006, 0.0])
+
+    # 1.5ms does NOT divide the 5ms deadline: the bound must hold even
+    # when no arrival lands exactly on the deadline (the simulator has
+    # to stop the clock *at* the deadline, not overshoot to the next
+    # arrival)
+    @pytest.mark.parametrize("interarrival_s", [0.001, 0.0015])
+    def test_simulator_bounds_every_wait_by_the_deadline(self, platform, interarrival_s):
+        """ISSUE acceptance: with max_latency_ms set, no request waits
+        longer than the deadline under the simulator's manual clock."""
+        max_latency_ms = 5.0
+        engine = ScoringEngine(
+            LinearROI(np.full(12, 0.02)),
+            batch_size=64,  # arrival rate never fills this before 5ms
+            cache_size=0,
+            max_latency_ms=max_latency_ms,
+            clock=ManualClock(),
+        )
+        replay = TrafficReplay(platform, engine, interarrival_s=interarrival_s)
+        result = replay.replay_day(400, budget_fraction=0.3)
+        assert result.latencies is not None and result.latencies.size == 400
+        assert result.latencies.max() <= max_latency_ms / 1000.0 + 1e-9
+        # and the deadline path is what served the stream, not batch-full
+        assert result.engine_stats["flush_deadline"] > 0
+        assert result.engine_stats["flush_batch_full"] == 0
+        assert result.spend <= result.budget + 1e-9
+
+    def test_simulator_interarrival_requires_manual_clock(self, platform, stub_model):
+        engine = ScoringEngine(stub_model, batch_size=8)
+        with pytest.raises(ValueError, match="ManualClock"):
+            TrafficReplay(platform, engine, interarrival_s=0.001)
+
+    def test_unknown_flush_reason_rejected_before_counting(self, stub_model, rng):
+        engine = ScoringEngine(stub_model, batch_size=8, cache_size=0)
+        engine.submit(rng.normal(size=12))
+        with pytest.raises(ValueError, match="reason"):
+            engine.flush(reason="shutdown")
+        assert engine.stats["flushes"] == 0  # counters untouched
+        assert engine.flush() == 1  # the request is still flushable
+
+    def test_deadline_rearms_after_a_failing_flush(self, rng):
+        """A raising batch must not strand the surviving versions'
+        requests without a deadline — the latency bound has to keep
+        holding after a partial flush failure."""
+
+        class Boom:
+            def predict_roi(self, x):
+                raise RuntimeError("down")
+
+        calls: list[int] = []
+        healthy = LinearROI(np.zeros(4), calls=calls)
+        reg = ModelRegistry(traffic_split=0.5, random_state=0)
+        reg.register(healthy)  # v1 champion
+        reg.register(Boom())  # v2 challenger on half the keys
+        key_healthy = next(k for k in range(100) if reg.route(k).version == 1)
+        key_boom = next(k for k in range(100) if reg.route(k).version == 2)
+        clock = ManualClock()
+        engine = ScoringEngine(
+            reg, batch_size=100, cache_size=0, max_latency_ms=5.0, clock=clock
+        )
+        r_healthy = engine.submit(rng.normal(size=4), key=key_healthy)
+        engine.submit(rng.normal(size=4), key=key_boom)
+        clock.advance(0.006)  # past the deadline: poll fires the flush
+        with pytest.raises(RuntimeError, match="down"):
+            engine.poll()
+        assert engine.n_pending == 1  # the healthy batch survived
+        # the survivor is overdue, so the re-armed deadline fires on the
+        # very next poll — no silent loss of the latency guarantee
+        assert engine.poll() >= 1
+        assert engine.has_result(r_healthy)
+        assert calls == [1]
+
+    def test_deadline_loop_handles_non_comparable_tied_keys(self):
+        from repro.runtime import DeadlineLoop
+
+        clock = ManualClock()
+        loop = DeadlineLoop(clock)
+        fired = []
+        loop.schedule("str-key", 1.0, lambda: fired.append("s"))
+        loop.schedule(42, 1.0, lambda: fired.append("i"))  # tied, int vs str
+        clock.advance(2.0)
+        assert loop.poll() == 2  # would TypeError if keys were compared
+        assert sorted(fired) == ["i", "s"]
+
+
+# ---------------------------------------------------------------------------
+# asynchronous flushing on a thread backend
+# ---------------------------------------------------------------------------
+class TestAsyncFlush:
+    class SlowROI(LinearROI):
+        """Scorer that takes real wall time, to expose asynchrony."""
+
+        def predict_roi(self, x):
+            import time
+
+            time.sleep(0.05)
+            return super().predict_roi(x)
+
+    def test_flush_returns_before_scores_land(self, rng):
+        model = self.SlowROI(np.ones(6) * 0.02)
+        with ThreadBackend(1) as backend:
+            engine = ScoringEngine(model, batch_size=4, cache_size=0, backend=backend)
+            ids = [engine.submit(row) for row in rng.normal(size=(3, 6))]
+            import time
+
+            start = time.perf_counter()
+            engine.flush()
+            dispatch_time = time.perf_counter() - start
+            assert dispatch_time < 0.04  # did not wait for the 50ms model
+            assert engine.n_inflight == 1
+            engine.join()
+            assert engine.n_inflight == 0
+            assert all(engine.has_result(rid) for rid in ids)
+
+    def test_thread_backend_scores_match_serial(self, rng):
+        w = np.ones(6) * 0.03
+        x = rng.normal(size=(40, 6))
+        serial = ScoringEngine(LinearROI(w), batch_size=8, cache_size=16)
+        got_serial = np.array([serial.score(row) for row in x])
+        with ThreadBackend(2) as backend:
+            threaded = ScoringEngine(
+                LinearROI(w), batch_size=8, cache_size=16, backend=backend
+            )
+            got_threaded = np.array([threaded.score(row) for row in x])
+        np.testing.assert_array_equal(got_serial, got_threaded)
+        assert serial.stats == threaded.stats
+
+    def test_async_latency_measured_at_completion_not_reap(self, rng):
+        """On an async backend the latency log must stamp when scoring
+        *completed*, not whenever the caller got around to reaping —
+        else a late join() fabricates huge waits."""
+        import time
+
+        model = LinearROI(np.ones(6) * 0.02)
+        clock = ManualClock()
+        with ThreadBackend(1) as backend:
+            engine = ScoringEngine(
+                model, batch_size=4, cache_size=0, backend=backend, clock=clock
+            )
+            engine.submit(rng.normal(size=6))
+            engine.flush()  # dispatches at simulated t=0
+            time.sleep(0.2)  # let the worker finish (stamps t=0)
+            clock.advance(100.0)  # simulated time passes before the reap
+            engine.join()
+        assert engine.latencies == [0.0]  # not 100.0
+
+    def test_replay_end_to_end_on_thread_backend(self, platform):
+        probe = TestTrafficReplay()._probe_weights()
+        with ThreadBackend(2) as backend:
+            engine = ScoringEngine(
+                LinearROI(probe), batch_size=64, cache_size=0, backend=backend
+            )
+            result = TrafficReplay(platform, engine).replay_day(1500, budget_fraction=0.3)
+        assert result.n_events == 1500
+        assert result.spend <= result.budget + 1e-9
+        assert result.revenue_ratio > 0.0
+
+
+# ---------------------------------------------------------------------------
+# MultiDayPacer (cross-day carryover)
+# ---------------------------------------------------------------------------
+class TestMultiDayPacer:
+    def test_day2_absorbs_day1_underspend_pinned(self):
+        """ISSUE acceptance: day-1 under-spend funds day-2's pacing,
+        total multi-day spend stays strictly under the campaign
+        budget, and every single-day invariant keeps holding."""
+        daily, horizon = 10.0, 100
+        multi = MultiDayPacer(
+            daily_budget=daily,
+            horizon=horizon,
+            pacer_params=dict(
+                warmup=8, refresh_every=8, window=32, lookahead=16,
+                curve_slack=0.05, use_roi_floor=False,
+            ),
+        )
+        # day 1: traffic dries up at midday — only 50 of 100 expected
+        # arrivals show, so the uniform curve strands ~half the budget
+        # (0.3 unit costs never divide the budget exactly, so every
+        # day's spend sits strictly inside its boundary)
+        day1 = multi.start_day()
+        for _ in range(50):
+            day1.offer(0.9, 0.3)
+        assert day1.spent <= daily
+        carry = multi.end_day()
+        underspend = daily - day1.spent
+        assert underspend > 3.0  # the curve really did strand budget
+        assert carry == pytest.approx(underspend)
+
+        # day 2: full traffic; its pacer holds base + carry
+        day2 = multi.start_day()
+        assert day2.budget == pytest.approx(daily + carry)
+        for _ in range(horizon):
+            day2.offer(0.9, 0.3)
+        multi.end_day()
+
+        # single-day invariants, both days
+        for pacer in multi.days:
+            assert pacer.spent <= pacer.budget + 1e-9
+            for n_seen, spent, _thr in pacer.history:
+                cap = pacer.budget * min(1.0, n_seen / pacer.horizon + 0.05)
+                assert spent <= cap + 1e-9
+        # day 2 actually used the carried budget: spent beyond its base
+        assert multi.days[1].spent > daily
+        # campaign invariant: strictly under the two-day plan
+        assert multi.total_spent < 2 * daily
+        assert multi.total_base_budget == pytest.approx(2 * daily)
+
+    def test_early_mode_tilts_the_curve_forward(self):
+        """'early' releases the carry at the start of the next day;
+        'spread' paces it evenly — early must be ahead at quarter-day."""
+        spends = {}
+        for mode in ("spread", "early"):
+            multi = MultiDayPacer(
+                daily_budget=10.0,
+                horizon=100,
+                carryover_mode=mode,
+                pacer_params=dict(
+                    warmup=4, refresh_every=4, window=32, lookahead=8,
+                    curve_slack=0.01, use_roi_floor=False,
+                ),
+            )
+            day1 = multi.start_day()
+            for _ in range(30):  # heavy underspend: carry ~7
+                day1.offer(0.9, 1.0)
+            multi.end_day()
+            day2 = multi.start_day()
+            for _ in range(25):  # first quarter of day 2
+                day2.offer(0.9, 1.0)
+            spends[mode] = day2.spent
+            multi.end_day()
+        assert spends["early"] > spends["spread"] + 2.0
+
+    def test_zero_carryover_is_amnesiac(self):
+        multi = MultiDayPacer(daily_budget=10.0, horizon=50, carryover=0.0)
+        day1 = multi.start_day()
+        for _ in range(10):
+            day1.offer(0.5, 1.0)
+        assert multi.end_day() == 0.0
+        assert multi.start_day().budget == 10.0
+
+    def test_delegation_and_lifecycle_errors(self):
+        multi = MultiDayPacer(daily_budget=5.0, horizon=10)
+        with pytest.raises(RuntimeError, match="start_day"):
+            multi.offer(0.5, 1.0)
+        with pytest.raises(RuntimeError, match="start_day"):
+            multi.end_day()
+        multi.start_day()
+        assert isinstance(multi.offer(0.5, 1.0), bool)
+        multi.observe_outcome(1, 1.0, 1.0)
+        with pytest.raises(RuntimeError, match="end_day"):
+            multi.start_day()
+        multi.end_day()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="carryover must"):
+            MultiDayPacer(daily_budget=1.0, horizon=10, carryover=1.5)
+        with pytest.raises(ValueError, match="carryover_mode"):
+            MultiDayPacer(daily_budget=1.0, horizon=10, carryover_mode="late")
+        with pytest.raises(ValueError, match="daily_budget"):
+            MultiDayPacer(daily_budget=-1.0, horizon=10)
+        multi = MultiDayPacer()  # defaults omitted is fine...
+        with pytest.raises(ValueError, match="base_budget"):
+            multi.start_day()  # ...until a day needs numbers
+
+    def test_per_day_overrides(self):
+        multi = MultiDayPacer(daily_budget=5.0, horizon=10)
+        day = multi.start_day(base_budget=7.0, horizon=20)
+        assert day.budget == 7.0
+        assert day.horizon == 20
+
+
+# ---------------------------------------------------------------------------
+# multi-day replay (campaign mode)
+# ---------------------------------------------------------------------------
+class TestMultiDayReplay:
+    def test_campaign_accounting_and_carry(self, platform):
+        probe = TestTrafficReplay()._probe_weights()
+        engine = ScoringEngine(LinearROI(probe), batch_size=128, cache_size=0)
+        replay = TrafficReplay(platform, engine)
+        result = replay.replay_days(3, 1200, budget_fraction=0.3)
+        assert result.n_days == 3 and len(result.ledger) == 3
+        # per-day: the day budget is base + carry-in, and never overspent
+        carry_in = 0.0
+        for day, (base, day_budget, spent, carry_out) in zip(result.days, result.ledger):
+            assert day_budget == pytest.approx(base + carry_in)
+            assert day.budget == pytest.approx(day_budget)
+            assert day.spend == pytest.approx(spent)
+            assert spent <= day_budget + 1e-9
+            assert carry_out == pytest.approx(day_budget - spent)
+            carry_in = carry_out
+        # campaign invariant: total spend strictly under the total plan
+        assert result.total_spend < result.total_base_budget
+        assert result.total_incremental_revenue > 0.0
+        summary = result.summary()
+        assert summary["n_days"] == 3 and len(summary["carryovers"]) == 3
+
+    def test_carry_makes_later_days_richer(self, platform):
+        """With carryover, day budgets are weakly increasing whenever
+        every day underspends — and day 2's must strictly exceed its
+        base because the strict boundary always leaves residual."""
+        probe = TestTrafficReplay()._probe_weights()
+        engine = ScoringEngine(LinearROI(probe), batch_size=128, cache_size=0)
+        result = TrafficReplay(platform, engine).replay_days(2, 1000, budget_fraction=0.25)
+        base2, budget2, _spent2, _c = result.ledger[1]
+        assert budget2 > base2  # day-1 residual landed on day 2
+
+    def test_per_day_engine_stats_are_deltas_not_cumulative(self, platform, stub_model):
+        """One engine serves the whole campaign, but each day's
+        ReplayResult must report that day's counters only."""
+        engine = ScoringEngine(stub_model, batch_size=64, cache_size=0)
+        result = TrafficReplay(platform, engine).replay_days(2, 500, budget_fraction=0.3)
+        assert result.days[0].engine_stats["requests"] == 500
+        assert result.days[1].engine_stats["requests"] == 500  # not 1000
+        assert engine.stats["requests"] == 1000  # the engine itself is cumulative
+
+    def test_invalid_n_days(self, platform, stub_model):
+        engine = ScoringEngine(stub_model, batch_size=8)
+        with pytest.raises(ValueError, match="n_days"):
+            TrafficReplay(platform, engine).replay_days(0, 500)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,129 @@
+"""Tests for the numpy-only inference primitives (``repro.utils.stats``)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import MeanCI, betainc, mean_confidence_interval, t_cdf, t_ppf
+
+
+class TestBetainc:
+    def test_endpoints(self):
+        assert betainc(2.0, 3.0, 0.0) == 0.0
+        assert betainc(2.0, 3.0, 1.0) == 1.0
+
+    def test_uniform_special_case(self):
+        # I_x(1, 1) is the uniform CDF
+        for x in (0.1, 0.35, 0.8):
+            assert betainc(1.0, 1.0, x) == pytest.approx(x, abs=1e-12)
+
+    def test_symmetry(self):
+        # I_x(a, b) = 1 - I_{1-x}(b, a)
+        assert betainc(2.5, 4.0, 0.3) == pytest.approx(
+            1.0 - betainc(4.0, 2.5, 0.7), abs=1e-12
+        )
+
+    def test_known_value(self):
+        # I_{0.5}(2, 2) = 0.5 by symmetry of Beta(2, 2)
+        assert betainc(2.0, 2.0, 0.5) == pytest.approx(0.5, abs=1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="a and b"):
+            betainc(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError, match="x must"):
+            betainc(1.0, 1.0, 1.5)
+
+
+class TestTCdf:
+    def test_symmetry_and_median(self):
+        assert t_cdf(0.0, 5) == 0.5
+        assert t_cdf(1.7, 5) == pytest.approx(1.0 - t_cdf(-1.7, 5), abs=1e-12)
+
+    def test_df1_is_cauchy(self):
+        # t with 1 df is standard Cauchy: CDF(1) = 3/4
+        assert t_cdf(1.0, 1) == pytest.approx(0.75, abs=1e-10)
+
+    def test_large_df_approaches_normal(self):
+        # Phi(1.96) ~ 0.975002
+        assert t_cdf(1.96, 10_000) == pytest.approx(0.975002, abs=5e-4)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError, match="df"):
+            t_cdf(1.0, 0)
+
+
+class TestTPpf:
+    @pytest.mark.parametrize(
+        "df, expect",
+        [
+            (1, 12.7062047),  # the classic two-sided 95% critical values
+            (2, 4.3026527),
+            (4, 2.7764451),
+            (10, 2.2281389),
+            (30, 2.0422725),
+            (100, 1.9839715),
+        ],
+    )
+    def test_matches_tabulated_critical_values(self, df, expect):
+        assert t_ppf(0.975, df) == pytest.approx(expect, abs=1e-5)
+
+    def test_symmetry_and_median(self):
+        assert t_ppf(0.5, 7) == 0.0
+        assert t_ppf(0.025, 7) == pytest.approx(-t_ppf(0.975, 7), abs=1e-12)
+
+    def test_roundtrip_with_cdf(self):
+        for q in (0.6, 0.9, 0.99):
+            assert t_cdf(t_ppf(q, 6), 6) == pytest.approx(q, abs=1e-9)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="q must"):
+            t_ppf(0.0, 5)
+        with pytest.raises(ValueError, match="df"):
+            t_ppf(0.9, -1)
+
+
+class TestMeanConfidenceInterval:
+    def test_pinned_textbook_interval(self):
+        """n=5, mean 3, sd sqrt(2.5): 3 ± 2.7764 * sqrt(2.5/5)."""
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0], level=0.95)
+        assert isinstance(ci, MeanCI)
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.half_width == pytest.approx(2.7764451 * np.sqrt(2.5 / 5.0), abs=1e-5)
+        assert ci.lo == pytest.approx(ci.mean - ci.half_width)
+        assert ci.hi == pytest.approx(ci.mean + ci.half_width)
+        assert ci.n == 5 and ci.level == 0.95
+
+    def test_zero_variance_degenerates_to_a_point(self):
+        ci = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert (ci.lo, ci.mean, ci.hi) == (2.0, 2.0, 2.0)
+        assert ci.excludes_zero()
+
+    def test_higher_level_is_wider(self):
+        samples = [0.3, 1.1, -0.4, 0.8, 0.2, 0.9]
+        assert (
+            mean_confidence_interval(samples, level=0.99).half_width
+            > mean_confidence_interval(samples, level=0.95).half_width
+            > mean_confidence_interval(samples, level=0.5).half_width
+        )
+
+    def test_excludes_zero(self):
+        assert mean_confidence_interval([5.0, 5.1, 4.9]).excludes_zero()
+        assert not mean_confidence_interval([-1.0, 1.0, 0.5, -0.5]).excludes_zero()
+
+    def test_coverage_is_nominal(self):
+        """Monte-Carlo: the 90% t-interval covers the true mean ~90%
+        of the time for tiny normal samples (the reason to use t)."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        n_rep = 2000
+        for _ in range(n_rep):
+            ci = mean_confidence_interval(rng.normal(1.0, 2.0, size=5), level=0.9)
+            covered += ci.lo <= 1.0 <= ci.hi
+        assert covered / n_rep == pytest.approx(0.9, abs=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="level"):
+            mean_confidence_interval([1.0, 2.0], level=1.0)
+        with pytest.raises(ValueError, match=">= 2"):
+            mean_confidence_interval([1.0])
+        with pytest.raises(ValueError, match="finite"):
+            mean_confidence_interval([1.0, np.nan, 2.0])
