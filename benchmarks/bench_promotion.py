@@ -1,0 +1,169 @@
+"""Auto-promotion lifecycle: overhead and time-to-verdict.
+
+Two numbers quantify what :class:`~repro.serving.promotion.AutoPromoter`
+costs and buys on the serving hot path:
+
+* **Observation overhead** — every decided request adds one
+  O(1) ledger update plus, every ``check_every`` observations, one
+  Welch interval (a handful of ``t_ppf`` bisections).  Measured as raw
+  ``observe()`` throughput and as the end-to-end replay slowdown of a
+  promoter-driven day versus a plain one; the control loop must stay a
+  rounding error next to model scoring (asserted: < 30% replay
+  overhead, > 100k observations/s raw).
+* **Time-to-verdict** — on a campaign whose challenger truly dominates
+  (inverted-probe champion), the decided-request count the Welch gate
+  needs before it promotes at level 0.99.  Reported per ramp schedule;
+  asserted only to *reach* a promote verdict — the point of the
+  significance gate is that an identical-clone campaign (also run)
+  never does.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import print_header
+from repro.ab.platform import Platform
+from repro.runtime import ManualClock
+from repro.serving.engine import ScoringEngine
+from repro.serving.promotion import AutoPromoter
+from repro.serving.registry import ModelRegistry
+from repro.serving.simulator import TrafficReplay
+
+N_USERS = 6000
+N_DAYS = 3
+N_OBSERVE = 200_000
+SMOKE_N_USERS = 600
+SMOKE_N_DAYS = 2
+SMOKE_N_OBSERVE = 5_000
+
+
+class _ProbeROI:
+    def __init__(self, invert: bool = False) -> None:
+        import repro
+
+        probe = repro.criteo_uplift_v2(4000, random_state=5)
+        self.w = np.linalg.lstsq(probe.x, probe.roi, rcond=None)[0]
+        if invert:
+            self.w = -self.w
+
+    def predict_roi(self, x: np.ndarray) -> np.ndarray:
+        return np.atleast_2d(np.asarray(x, dtype=float)) @ self.w
+
+
+def _campaign(champion, challenger, n_days, n_users, seed=0):
+    registry = ModelRegistry(random_state=seed)
+    registry.register(champion, name="champion")
+    registry.register(challenger, name="challenger")
+    clock = ManualClock()
+    engine = ScoringEngine(registry, batch_size=128, cache_size=0, clock=clock)
+    day_s = n_users * 0.001
+    promoter = AutoPromoter(
+        registry, clock=clock, ramp=(0.05, 0.25, 1.0), step_every_s=day_s / 2,
+        level=0.99, min_decided=300, check_every=200, hold_decided=10**9,
+    )
+    replay = TrafficReplay(
+        Platform(dataset="criteo", random_state=seed), engine,
+        interarrival_s=0.001, promoter=promoter, random_state=seed + 1,
+    )
+    start = time.perf_counter()
+    replay.replay_days(n_days, n_users, budget_fraction=0.3)
+    return promoter, time.perf_counter() - start
+
+
+def test_observe_throughput_and_replay_overhead(benchmark, smoke) -> None:
+    """The control loop must be a rounding error on the hot path."""
+    n_observe = SMOKE_N_OBSERVE if smoke else N_OBSERVE
+    n_users = SMOKE_N_USERS if smoke else N_USERS
+
+    def run() -> dict:
+        # raw observe(): ledger update + periodic Welch evaluation
+        registry = ModelRegistry(random_state=0)
+        registry.register(_ProbeROI(), name="champion")
+        registry.register(_ProbeROI(), name="challenger")
+        promoter = AutoPromoter(
+            registry, clock=ManualClock(), ramp=(0.1, 1.0), step_every_s=1e9,
+            level=0.99, min_decided=200, check_every=200, auto_start=False,
+        )
+        promoter.start()
+        gen = np.random.default_rng(0)
+        outcomes = gen.random((n_observe, 2))
+        versions = np.where(gen.random(n_observe) < 0.5, 1, 2)
+        start = time.perf_counter()
+        for v, (y_r, y_c) in zip(versions, outcomes):
+            promoter.observe(int(v), True, float(y_r < 0.3), float(y_c < 0.3))
+        observe_rate = n_observe / (time.perf_counter() - start)
+
+        # end-to-end: a promoter-driven replay day vs a plain one
+        def day(promoted: bool) -> float:
+            registry = ModelRegistry(random_state=0)
+            registry.register(_ProbeROI(), name="champion")
+            registry.register(_ProbeROI(), name="clone")
+            engine = ScoringEngine(registry, batch_size=128, cache_size=0)
+            promoter = (
+                AutoPromoter(registry, ramp=(0.25,), min_decided=10**9, hold_decided=10**9)
+                if promoted
+                else None
+            )
+            replay = TrafficReplay(
+                Platform(dataset="criteo", random_state=0), engine,
+                promoter=promoter, random_state=1,
+            )
+            start = time.perf_counter()
+            replay.replay_day(n_users, budget_fraction=0.3)
+            return time.perf_counter() - start
+
+        day(False)  # warm caches
+        plain = min(day(False) for _ in range(3))
+        driven = min(day(True) for _ in range(3))
+        return {
+            "observe_rate": observe_rate,
+            "plain_s": plain,
+            "driven_s": driven,
+            "overhead": driven / plain - 1.0,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("AutoPromoter overhead")
+    print(f"raw observe() throughput: {out['observe_rate']:>12,.0f} obs/s")
+    print(f"replay day, plain:        {out['plain_s'] * 1e3:>12.1f} ms")
+    print(f"replay day, promoter:     {out['driven_s'] * 1e3:>12.1f} ms")
+    print(f"promoter overhead:        {out['overhead']:>12.1%}")
+    if not smoke:
+        assert out["observe_rate"] > 100_000
+        assert out["overhead"] < 0.30
+
+
+def test_time_to_verdict(benchmark, smoke) -> None:
+    """Decided requests the gate needs to promote a dominant challenger
+    — and that an identical clone never promotes on the same traffic."""
+    n_users = SMOKE_N_USERS if smoke else N_USERS
+    n_days = SMOKE_N_DAYS if smoke else N_DAYS
+
+    def run() -> dict:
+        dominant, elapsed_d = _campaign(
+            _ProbeROI(invert=True), _ProbeROI(), n_days, n_users
+        )
+        clone, elapsed_c = _campaign(_ProbeROI(), _ProbeROI(), n_days, n_users)
+        promote = [e for e in dominant.events if e.kind == "promote"]
+        decided_at_verdict = promote[0].ci.n if promote else None
+        return {
+            "promoted": bool(promote),
+            "decided_at_verdict": decided_at_verdict,
+            "clone_promoted": any(e.kind == "promote" for e in clone.events),
+            "dominant_s": elapsed_d,
+            "clone_s": elapsed_c,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Time-to-verdict (Welch gate at level 0.99)")
+    print(f"dominant challenger promoted: {out['promoted']}"
+          + (f" after {out['decided_at_verdict']} decided requests"
+             if out["promoted"] else ""))
+    print(f"identical clone promoted:     {out['clone_promoted']} (must be False)")
+    print(f"campaign wall time:           {out['dominant_s']:.2f}s / {out['clone_s']:.2f}s")
+    assert out["clone_promoted"] is False
+    if not smoke:
+        assert out["promoted"] is True

@@ -1,0 +1,126 @@
+"""Challenger auto-promotion demo: the registry operating itself.
+
+A freshly calibrated model must *earn* champion on live traffic.  This
+demo runs two multi-day campaigns through the full serving stack
+(:class:`ScoringEngine` → :class:`BudgetPacer` → realised outcomes)
+with an :class:`AutoPromoter` driving the
+:class:`~repro.serving.registry.ModelRegistry` lifecycle on simulated
+time:
+
+1. **Dominant challenger** — the incumbent champion scores users with
+   an *inverted* ROI probe (it systematically treats the wrong users);
+   the challenger uses the proper probe.  The promoter ramps the
+   challenger's traffic split on a :class:`~repro.runtime.DeadlineLoop`
+   schedule, a Welch significance gate compares the two per-version
+   outcome ledgers, and the challenger is auto-promoted once its
+   uplift delta clears the configured level — then confirmed after a
+   clean post-promotion hold window.
+2. **Identical clone** — the same model registered twice.  The ramp
+   runs its full course and nothing ever promotes: no significant
+   delta exists, so the gate stays shut.
+
+Run:
+    python examples/auto_promotion.py [--days 4] [--users 2500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.runtime import ManualClock
+from repro.serving import AutoPromoter
+
+
+class ProbeROI:
+    """Least-squares ROI probe; ``invert=True`` ranks users backwards."""
+
+    def __init__(self, n: int = 4000, seed: int = 5, invert: bool = False) -> None:
+        probe = repro.criteo_uplift_v2(n, random_state=seed)
+        self.w = np.linalg.lstsq(probe.x, probe.roi, rcond=None)[0]
+        if invert:
+            self.w = -self.w
+
+    def predict_roi(self, x: np.ndarray) -> np.ndarray:
+        return np.atleast_2d(np.asarray(x, dtype=float)) @ self.w
+
+
+def run_campaign(
+    name: str, champion: ProbeROI, challenger: ProbeROI, args: argparse.Namespace
+) -> None:
+    print(f"\n== campaign: {name} ==")
+    registry = repro.ModelRegistry(random_state=args.seed)
+    registry.register(champion, name="champion")
+    registry.register(challenger, name="challenger")
+    clock = ManualClock()
+    engine = repro.ScoringEngine(
+        registry, batch_size=args.batch, cache_size=0, clock=clock
+    )
+    day_seconds = args.users * args.interarrival_ms / 1000.0
+    promoter = AutoPromoter(
+        registry,
+        clock=clock,
+        ramp=(0.05, 0.25, 0.95),
+        step_every_s=day_seconds / 2.0,  # two ramp steps per simulated day
+        level=args.level,
+        min_decided=300,
+        check_every=200,
+        hold_decided=1500,
+    )
+    platform = repro.Platform(dataset="criteo", random_state=args.seed)
+    replay = repro.TrafficReplay(
+        platform,
+        engine,
+        interarrival_s=args.interarrival_ms / 1000.0,
+        promoter=promoter,
+        random_state=args.seed + 1,
+    )
+    result = replay.replay_days(args.days, args.users, budget_fraction=0.3)
+
+    print(f"  ramp: 5% -> 25% -> 95% (champion holdback), one step every {day_seconds / 2.0:.2f}s "
+          f"(simulated); gate: Welch level={args.level}")
+    print("\n  lifecycle events:")
+    for e in promoter.events:
+        detail = ""
+        if e.ci is not None:
+            detail = f"  delta=[{e.ci.lo:+.4f}, {e.ci.hi:+.4f}] over n={e.ci.n}"
+        print(f"    t={e.at:8.2f}s  {e.kind:8s} v{e.version}  "
+              f"split={e.traffic_split:6.1%}{detail}")
+
+    print("\n  per-version outcome ledgers (realised, attributed by version):")
+    for v in registry.versions():
+        led = v.ledger
+        mean, _var, n = led.moments("net")
+        print(f"    v{v.version} {v.name:11s} [{v.stage:10s}] "
+              f"decided={n:6d} treated={led.n_treated:5d} "
+              f"spend={led.spend:8.1f} revenue={led.revenue:8.1f} "
+              f"net/request={mean:+.4f}")
+    print(f"\n  champion after campaign: {registry.champion.name} "
+          f"(v{registry.champion.version}); campaign revenue "
+          f"{result.total_incremental_revenue:.1f} on spend {result.total_spend:.1f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=4, help="campaign length")
+    parser.add_argument("--users", type=int, default=2500, help="arrivals per day")
+    parser.add_argument("--batch", type=int, default=64, help="engine micro-batch size")
+    parser.add_argument("--interarrival-ms", type=float, default=1.0,
+                        help="simulated gap between arrivals")
+    parser.add_argument("--level", type=float, default=0.99,
+                        help="significance level of the promotion gate")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"== auto-promotion on simulated time: {args.days} days x "
+          f"{args.users} arrivals ==")
+    good = ProbeROI(seed=5)
+    bad = ProbeROI(seed=5, invert=True)
+    run_campaign("dominant challenger vs inverted champion", bad, good, args)
+    run_campaign("identical clone (must never promote)", good, ProbeROI(seed=5), args)
+
+
+if __name__ == "__main__":
+    main()

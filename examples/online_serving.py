@@ -90,8 +90,8 @@ def main() -> None:
     print("\n== Challenger promotion ==")
     registry.promote()
     print(f"champion is now: {registry.champion.name} "
-          f"(requests served per version: "
-          f"{ {f'v{v.version}': v.requests for v in registry.versions()} })")
+          f"(requests served per version, model-scored + cache: "
+          f"{ {f'v{v.version}': v.served for v in registry.versions()} })")
 
 
 if __name__ == "__main__":

@@ -104,6 +104,7 @@ from repro.runtime import (
     ThreadBackend,
 )
 from repro.serving import (
+    AutoPromoter,
     BudgetPacer,
     ConformalGatedPolicy,
     GreedyROIPolicy,
@@ -113,10 +114,11 @@ from repro.serving import (
     TrafficReplay,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ABTest",
+    "AutoPromoter",
     "BudgetPacer",
     "CausalForestUplift",
     "ConformalCalibrator",

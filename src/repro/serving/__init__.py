@@ -7,7 +7,11 @@ and the treat/skip decision happens *in-request*, under a budget that
 has to survive until midnight.  This package is that online half:
 
 * :class:`ModelRegistry` — versioned models with champion/challenger
-  staged rollout and deterministic per-user traffic splitting;
+  staged rollout, deterministic per-user traffic splitting, and a
+  per-version :class:`OutcomeLedger` of realised online outcomes;
+* :class:`AutoPromoter` — the lifecycle control loop: staged traffic
+  ramp on a :class:`~repro.runtime.DeadlineLoop`, Welch significance
+  gate over the per-version ledgers, auto-promote / kill / rollback;
 * :class:`ScoringEngine` — micro-batching request scorer (one
   vectorised model call per flush) with an LRU score cache;
 * :class:`BudgetPacer` — streaming C-BTAP admission via an adaptive
@@ -42,10 +46,12 @@ Quickstart
 from repro.serving.engine import ScoringEngine
 from repro.serving.pacing import BudgetPacer, MultiDayPacer
 from repro.serving.policy import ConformalGatedPolicy, DecisionPolicy, GreedyROIPolicy
-from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.promotion import AutoPromoter, PromotionEvent
+from repro.serving.registry import ModelRegistry, ModelVersion, OutcomeLedger
 from repro.serving.simulator import MultiDayReplayResult, ReplayResult, TrafficReplay
 
 __all__ = [
+    "AutoPromoter",
     "BudgetPacer",
     "ConformalGatedPolicy",
     "DecisionPolicy",
@@ -54,6 +60,8 @@ __all__ = [
     "ModelVersion",
     "MultiDayPacer",
     "MultiDayReplayResult",
+    "OutcomeLedger",
+    "PromotionEvent",
     "ReplayResult",
     "ScoringEngine",
     "TrafficReplay",

@@ -35,11 +35,19 @@ model version, skipping the model entirely.
 
 The request lifecycle is ``submit → (auto)flush → take``; ``score``
 wraps it for synchronous single-request use.  When a clock is present
-the engine also records every request's submit→score latency in
-``latencies`` (cache hits count as 0; asynchronous batches stamp the
-moment scoring *completed*, not when the caller reaped the result),
-which is what the latency benchmarks and the deadline acceptance
-tests read.
+the engine also records every *scored* request's submit→score latency
+in ``latencies`` (asynchronous batches stamp the moment scoring
+*completed*, not when the caller reaped the result), which is what the
+latency benchmarks and the deadline acceptance tests read.  Cache hits
+never enter the latency log: they are tallied in ``cache_hits``
+instead, so the p95 the deadline-bound claims are measured on reflects
+requests the model actually scored rather than being silently deflated
+by zero-cost replays.
+
+For outcome attribution the engine remembers which registry version's
+score serves each request — :meth:`version_of` — until the result is
+taken; the traffic simulator uses it to credit realised outcomes to
+the right :class:`~repro.serving.registry.OutcomeLedger`.
 """
 
 from __future__ import annotations
@@ -151,6 +159,9 @@ class ScoringEngine:
         ] = deque()
         self._ready: dict[int, float] = {}
         self._submitted_at: dict[int, float] = {}
+        # rid -> registry version whose score serves the request
+        # (cache hits included); alive from submit until take
+        self._version_by_rid: dict[int, int] = {}
         self._next_id = 0
         self.latency_log_size = latency_log_size
         #: submit→score latency (seconds) per request, when a clock is
@@ -188,15 +199,17 @@ class ScoringEngine:
         self._next_id += 1
         self.stats["requests"] += 1
         version = self.registry.route(key)
+        self._version_by_rid[rid] = version.version
         if self.cache_size > 0:
             cache_key = (version.version, row.tobytes())
             hit = self._cache.get(cache_key)
             if hit is not None:
                 self._cache.move_to_end(cache_key)
                 self.stats["cache_hits"] += 1
+                version.cache_hits += 1
                 self._ready[rid] = hit
-                if self.clock is not None:
-                    self._log_latency(0.0)
+                # deliberately NOT logged into ``latencies``: a cache
+                # replay costs nothing and would deflate the scored p95
                 return rid
         self.stats["cache_misses"] += 1
         if self.clock is not None:
@@ -296,11 +309,16 @@ class ScoringEngine:
                     )
             except BaseException:
                 # the failed batch is dropped whole — forget its stamps
+                # and its version attribution (those ids never resolve)
                 for rid, _row in batch:
                     self._submitted_at.pop(rid, None)
+                    self._version_by_rid.pop(rid, None)
                 raise
             self.stats["model_calls"] += 1
             self.stats["rows_scored"] += len(batch)
+            # the model really scored these rows — credit the version
+            # (cache hits were credited separately at submit)
+            self.registry.get(version_id).requests += len(batch)
             if self.clock is not None:
                 # scoring-completion time from the done-callback; the
                 # tiny race where done() flips before callbacks run
@@ -368,6 +386,17 @@ class ScoringEngine:
             self._reap(wait=False)
         return request_id in self._ready
 
+    def version_of(self, request_id: int) -> int:
+        """Registry version id whose score serves this request.
+
+        Valid from :meth:`submit` until the result is taken (cache hits
+        report the version whose cached score answered); KeyError for
+        unknown ids or batches dropped by a failed flush.  Read it
+        *before* :meth:`take` — outcome attribution needs to know which
+        model's score drove the decision being realised.
+        """
+        return self._version_by_rid[request_id]
+
     def take(self, request_id: int) -> float:
         """Pop a finished score (KeyError when still pending/unknown)."""
         if request_id not in self._ready:
@@ -375,7 +404,9 @@ class ScoringEngine:
                 self._deadlines.poll()
             if self._inflight:
                 self._reap(wait=False)
-        return self._ready.pop(request_id)
+        score = self._ready.pop(request_id)
+        self._version_by_rid.pop(request_id, None)
+        return score
 
     def score(self, x_row: np.ndarray, key: str | int | None = None) -> float:
         """Synchronous convenience path: submit, force a flush, return."""
@@ -396,10 +427,12 @@ class ScoringEngine:
         if x.ndim != 2:
             raise ValueError(f"x must be 2-D, got shape {x.shape}")
         version = self.registry.route(key)
-        version.requests += x.shape[0] - 1  # route() counted one
         scores = np.asarray(
             self.policy.score_batch(version.model, x), dtype=float
         ).ravel()
+        # credited only after the call returns: a raising model scored
+        # nothing, and ``requests`` counts what the model actually did
+        version.requests += x.shape[0]
         self.stats["requests"] += x.shape[0]
         self.stats["model_calls"] += 1
         self.stats["rows_scored"] += x.shape[0]

@@ -192,8 +192,12 @@ class BudgetPacer:
         rate = (target_cum - self.spent) / events_ahead
 
         if rate <= 0.0:
-            # ahead of the curve: admit nothing until spend catches up
-            self.threshold_ = float(np.max(scores)) + 1.0
+            # ahead of the curve: admit nothing until spend catches up.
+            # The lockout must be unconditional — ``max(scores) + 1``
+            # only covers the window's range, so a later arrival scoring
+            # above it would pierce the lockout and spend while the
+            # pacer believes it is admitting nothing
+            self.threshold_ = np.inf
         else:
             lo = float(np.min(scores)) - 1e-9
             hi = float(np.max(scores)) + 1e-9

@@ -25,6 +25,14 @@ Two runtime-layer features thread through the replay:
   *d*'s under-spend tilts day *d+1*'s pacing, and returns the
   campaign-level accounting alongside each day's
   :class:`ReplayResult`.
+* **Challenger lifecycle** — given an :class:`~repro.serving.promotion
+  .AutoPromoter`, every decided arrival's realised outcome is
+  attributed to the registry version whose score drove the decision
+  (:meth:`ScoringEngine.version_of`) and fed to the promoter, and the
+  promoter is polled once per arrival so its ramp deadlines fire on
+  schedule under the replay's clock.  A multi-day campaign then runs
+  the full promote-or-kill lifecycle end-to-end: ramp, significance
+  verdict, post-promotion hold.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.core.allocation import greedy_allocation
 from repro.runtime import ManualClock
 from repro.serving.engine import ScoringEngine
 from repro.serving.pacing import BudgetPacer, MultiDayPacer
+from repro.serving.promotion import AutoPromoter
 from repro.utils.rng import as_generator
 
 __all__ = ["MultiDayReplayResult", "TrafficReplay", "ReplayResult"]
@@ -168,8 +177,17 @@ class TrafficReplay:
         Simulated gap between consecutive arrivals.  Requires the
         engine's clock to be a :class:`~repro.runtime.ManualClock`;
         the replay advances it by this gap before each submit.
+    promoter:
+        An :class:`~repro.serving.promotion.AutoPromoter` operating the
+        engine's registry.  Every decided arrival's realised outcome is
+        attributed to the version that scored it and recorded via
+        :meth:`AutoPromoter.observe`; the promoter is polled once per
+        arrival, so its ramp schedule runs on the replay's (possibly
+        simulated) time.  Outcome realisation shares the feedback
+        draws, so adding a promoter does not perturb the pacer's
+        ``roi*`` stream.
     random_state:
-        Seed/generator for realising feedback outcomes.
+        Seed/generator for realising feedback/promotion outcomes.
     """
 
     def __init__(
@@ -178,6 +196,7 @@ class TrafficReplay:
         engine: ScoringEngine,
         feedback: bool = False,
         interarrival_s: float | None = None,
+        promoter: AutoPromoter | None = None,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
         if interarrival_s is not None:
@@ -188,10 +207,26 @@ class TrafficReplay:
                     "interarrival_s needs an engine with a ManualClock "
                     "(simulated time cannot advance a system clock)"
                 )
+        if promoter is not None and promoter.registry is not engine.registry:
+            raise ValueError(
+                "promoter must operate the engine's registry — attributing "
+                "outcomes across two registries would corrupt both ledgers"
+            )
+        if (
+            promoter is not None
+            and interarrival_s is not None
+            and promoter.clock is not engine.clock
+        ):
+            raise ValueError(
+                "promoter must share the engine's ManualClock when replaying "
+                "on simulated time — on its own clock the ramp schedule "
+                "would silently run on wall time instead"
+            )
         self.platform = platform
         self.engine = engine
         self.feedback = bool(feedback)
         self.interarrival_s = interarrival_s
+        self.promoter = promoter
         self._rng = as_generator(random_state)
 
     def replay_day(
@@ -292,19 +327,25 @@ class TrafficReplay:
                 self.engine.join()
             while waiting and self.engine.has_result(waiting[0][0]):
                 rid, i = waiting.popleft()
+                # which version's score drives this decision (read
+                # before take() releases the attribution)
+                vid = self.engine.version_of(rid) if self.promoter is not None else None
                 score = self.engine.take(rid)
                 scores[i] = score
                 admit = pacer.offer(score, float(cohort.tau_c[i]))
                 treated[i] = admit
                 trajectory[n_decided] = pacer.spent
                 n_decided += 1
-                if self.feedback:
+                if self.feedback or self.promoter is not None:
                     # realised Bernoulli incremental outcomes: skipped
                     # users realise none, mirroring Platform.realize_arm
                     draw = self._rng.random(2)
                     y_r = float(draw[0] < cohort.tau_r[i]) if admit else 0.0
                     y_c = float(draw[1] < cohort.tau_c[i]) if admit else 0.0
-                    pacer.observe_outcome(int(admit), y_r, y_c)
+                    if self.feedback:
+                        pacer.observe_outcome(int(admit), y_r, y_c)
+                    if self.promoter is not None:
+                        self.promoter.observe(vid, bool(admit), y_r, y_c)
 
         clock = self.engine.clock if self.interarrival_s is not None else None
         start = time.perf_counter()
@@ -321,10 +362,16 @@ class TrafficReplay:
                     self.engine.poll()
                     drain()
                 clock.advance(max(0.0, target - clock.now()))
+            if self.promoter is not None:
+                # ramp deadlines fire at arrival granularity: the first
+                # arrival after a step boundary sees the widened split
+                self.promoter.poll()
             waiting.append((self.engine.submit(x_row), i))
             self.engine.poll()
             drain()
         drain(force=True)
+        if self.promoter is not None:
+            self.promoter.poll()  # day's end: fire any boundary that landed on it
         elapsed = time.perf_counter() - start
 
         if waiting or n_decided != cohort.n:

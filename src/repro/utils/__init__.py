@@ -6,7 +6,15 @@ always threaded through :class:`numpy.random.Generator` objects.
 """
 
 from repro.utils.rng import SeedStream, as_generator, spawn_generators
-from repro.utils.stats import MeanCI, betainc, mean_confidence_interval, t_cdf, t_ppf
+from repro.utils.stats import (
+    MeanCI,
+    betainc,
+    mean_confidence_interval,
+    t_cdf,
+    t_ppf,
+    welch_ci_from_moments,
+    welch_confidence_interval,
+)
 from repro.utils.validation import (
     check_1d,
     check_2d,
@@ -26,6 +34,8 @@ __all__ = [
     "spawn_generators",
     "t_cdf",
     "t_ppf",
+    "welch_ci_from_moments",
+    "welch_confidence_interval",
     "check_1d",
     "check_2d",
     "check_binary",

@@ -26,6 +26,8 @@ __all__ = [
     "mean_confidence_interval",
     "t_cdf",
     "t_ppf",
+    "welch_ci_from_moments",
+    "welch_confidence_interval",
 ]
 
 _MAX_CF_ITER = 300
@@ -173,3 +175,72 @@ def mean_confidence_interval(samples: Sequence[float], level: float = 0.95) -> M
     sd = float(values.std(ddof=1))
     half = t_ppf(1.0 - 0.5 * (1.0 - level), n - 1) * sd / math.sqrt(n)
     return MeanCI(mean, mean - half, mean + half, half, float(level), n)
+
+
+def welch_ci_from_moments(
+    mean_a: float,
+    var_a: float,
+    n_a: int,
+    mean_b: float,
+    var_b: float,
+    n_b: int,
+    level: float = 0.95,
+) -> MeanCI:
+    """Welch t-interval for ``mean_a - mean_b`` from streaming moments.
+
+    The two-sample path for *unpaired* data: a champion and a
+    challenger serve disjoint keyed traffic slices, so their outcomes
+    cannot be paired per user the way
+    :meth:`~repro.ab.replay.PolicyReplay.delta_ci` pairs per-day CRN
+    deltas.  Welch's unequal-variance interval with the
+    Welch–Satterthwaite degrees of freedom is the standard answer, and
+    taking sample moments (``var`` with ``ddof=1``) instead of raw
+    arrays lets callers keep O(1) streaming ledgers.  ``n`` on the
+    returned :class:`MeanCI` is the combined ``n_a + n_b``.
+
+    Degenerate zero-variance arms give a zero-width interval at the
+    mean difference (the Satterthwaite formula is 0/0 there).
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    if n_a < 2 or n_b < 2:
+        raise ValueError(f"need >= 2 samples per arm, got n_a={n_a}, n_b={n_b}")
+    if not (var_a >= 0.0 and var_b >= 0.0):  # rejects NaN too
+        raise ValueError(f"variances must be >= 0, got {var_a}, {var_b}")
+    if not (math.isfinite(mean_a) and math.isfinite(mean_b)):
+        raise ValueError(f"means must be finite, got {mean_a}, {mean_b}")
+    delta = float(mean_a) - float(mean_b)
+    sa, sb = var_a / n_a, var_b / n_b
+    se2 = sa + sb
+    if se2 <= 0.0:
+        return MeanCI(delta, delta, delta, 0.0, float(level), n_a + n_b)
+    df = se2 * se2 / (sa * sa / (n_a - 1) + sb * sb / (n_b - 1))
+    half = t_ppf(1.0 - 0.5 * (1.0 - level), df) * math.sqrt(se2)
+    return MeanCI(delta, delta - half, delta + half, half, float(level), n_a + n_b)
+
+
+def welch_confidence_interval(
+    a: Sequence[float], b: Sequence[float], level: float = 0.95
+) -> MeanCI:
+    """Welch t-interval for ``mean(a) - mean(b)`` of two independent samples.
+
+    Array-facing wrapper over :func:`welch_ci_from_moments`; see there
+    for when to prefer this over the paired interval.
+    """
+    xs = np.asarray(a, dtype=float).ravel()
+    ys = np.asarray(b, dtype=float).ravel()
+    if xs.shape[0] < 2 or ys.shape[0] < 2:
+        raise ValueError(
+            f"need >= 2 samples per arm, got {xs.shape[0]} and {ys.shape[0]}"
+        )
+    if np.any(~np.isfinite(xs)) or np.any(~np.isfinite(ys)):
+        raise ValueError("samples must be finite")
+    return welch_ci_from_moments(
+        float(xs.mean()),
+        float(xs.var(ddof=1)),
+        int(xs.shape[0]),
+        float(ys.mean()),
+        float(ys.var(ddof=1)),
+        int(ys.shape[0]),
+        level=level,
+    )

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.utils.stats import MeanCI, betainc, mean_confidence_interval, t_cdf, t_ppf
+from repro.utils.stats import (
+    MeanCI,
+    betainc,
+    mean_confidence_interval,
+    t_cdf,
+    t_ppf,
+    welch_ci_from_moments,
+    welch_confidence_interval,
+)
 
 
 class TestBetainc:
@@ -127,3 +135,83 @@ class TestMeanConfidenceInterval:
             mean_confidence_interval([1.0])
         with pytest.raises(ValueError, match="finite"):
             mean_confidence_interval([1.0, np.nan, 2.0])
+
+
+class TestWelch:
+    """Two-sample Welch interval (the unpaired significance primitive)."""
+
+    def test_matches_hand_computed_example(self):
+        # a classic unequal-variance two-sample layout; reference
+        # numbers computed once from the Welch-Satterthwaite formulas
+        a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1,
+             21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4]
+        b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0,
+             24.8, 20.2, 21.9, 22.1, 22.9, 30.5]
+        ci = welch_confidence_interval(a, b)
+        assert ci.mean == pytest.approx(-2.78, abs=1e-12)
+        # se = 1.026672, Welch-Satterthwaite df = 26.9527,
+        # t_{0.975, 26.9527} = 2.051999 -> half = 2.106730
+        assert ci.half_width == pytest.approx(2.106730, abs=1e-5)
+        assert ci.lo == pytest.approx(-4.886730, abs=1e-5)
+        assert ci.hi == pytest.approx(-0.673270, abs=1e-5)
+        assert ci.n == 29
+        assert ci.excludes_zero()
+
+    def test_one_degenerate_arm_analytic(self):
+        # var_b = 0: se^2 = var_a/n_a, df = n_a - 1 exactly
+        ci = welch_confidence_interval([0.0, 2.0], [5.0, 5.0, 5.0, 5.0])
+        assert ci.mean == pytest.approx(-4.0)
+        # se = 1, df = 1 -> half = t_{0.975, 1} = 12.7062047
+        assert ci.half_width == pytest.approx(12.7062047, abs=1e-5)
+
+    def test_equal_arms_reduce_to_pooled_df(self):
+        # equal n and equal variance: df = 2n - 2, the Student case
+        gen = np.random.default_rng(3)
+        a = gen.normal(size=20)
+        b = a + 0.5  # identical sample variance by construction
+        ci = welch_confidence_interval(a, b)
+        se = float(np.sqrt(2.0 * a.var(ddof=1) / 20))
+        assert ci.half_width == pytest.approx(t_ppf(0.975, 38) * se, rel=1e-9)
+
+    def test_moments_path_matches_array_path(self):
+        gen = np.random.default_rng(7)
+        a, b = gen.normal(1.0, 2.0, 30), gen.normal(0.5, 0.3, 12)
+        from_arrays = welch_confidence_interval(a, b, level=0.9)
+        from_moments = welch_ci_from_moments(
+            float(a.mean()), float(a.var(ddof=1)), 30,
+            float(b.mean()), float(b.var(ddof=1)), 12,
+            level=0.9,
+        )
+        assert from_arrays == pytest.approx(from_moments)
+
+    def test_zero_variance_both_arms_is_zero_width(self):
+        ci = welch_ci_from_moments(1.5, 0.0, 10, 1.0, 0.0, 10)
+        assert ci == MeanCI(0.5, 0.5, 0.5, 0.0, 0.95, 20)
+
+    def test_coverage_is_nominal_under_behrens_fisher(self):
+        """Monte-Carlo: unequal variances and unequal n — the exact
+        regime where the pooled-variance t-interval undercovers and
+        Welch is the fix.  Coverage must sit at the nominal level."""
+        gen = np.random.default_rng(0)
+        covered = 0
+        n_rep = 2000
+        for _ in range(n_rep):
+            a = gen.normal(1.0, 10.0, size=6)   # small arm, huge variance
+            b = gen.normal(0.0, 1.0, size=40)   # big arm, small variance
+            ci = welch_confidence_interval(a, b, level=0.9)
+            covered += ci.lo <= 1.0 <= ci.hi
+        assert covered / n_rep == pytest.approx(0.9, abs=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="level"):
+            welch_ci_from_moments(0.0, 1.0, 5, 0.0, 1.0, 5, level=0.0)
+        with pytest.raises(ValueError, match=">= 2"):
+            welch_ci_from_moments(0.0, 1.0, 1, 0.0, 1.0, 5)
+        with pytest.raises(ValueError, match="variances"):
+            welch_ci_from_moments(0.0, -1.0, 5, 0.0, 1.0, 5)
+        with pytest.raises(ValueError, match="means"):
+            welch_ci_from_moments(float("nan"), 1.0, 5, 0.0, 1.0, 5)
+        with pytest.raises(ValueError, match=">= 2"):
+            welch_confidence_interval([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="finite"):
+            welch_confidence_interval([1.0, np.nan], [1.0, 2.0])
