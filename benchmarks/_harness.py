@@ -9,9 +9,20 @@ Table I's models instead of retraining.
 Absolute AUCC values will not match the paper (different substrate);
 what the benches check and print is the *shape*: method ordering,
 setting ordering, and the rDRP-vs-DRP deltas.  See EXPERIMENTS.md.
+
+The harness is itself instrumented: both artifact caches are bounded
+LRU :class:`BenchCache`\\ s counting hits/misses/evictions into
+:data:`BENCH_METRICS`, and :func:`record_result` appends a run to the
+committed ``BENCH_<area>.json`` trajectory (opt-in: set
+``REPRO_BENCH_RECORD=1`` to write at the repo root, or
+``REPRO_BENCH_DIR=<dir>`` to write elsewhere, as CI does).
 """
 
 from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from pathlib import Path
 
 import numpy as np
 
@@ -21,6 +32,8 @@ from repro.core.direct_rank import DirectRank
 from repro.core.rdrp import RobustDRP
 from repro.data.settings import SETTING_NAMES, SettingData, make_setting
 from repro.metrics.aucc import aucc
+from repro.obs import MetricsRegistry
+from repro.obs.trajectory import append_run, bench_path
 
 # ---------------------------------------------------------------------------
 # scaled-down experiment configuration
@@ -31,24 +44,84 @@ DRP_PARAMS = dict(hidden=48, epochs=80, n_restarts=2)
 MC_SAMPLES = 20
 DATASETS = ("criteo", "meituan", "alibaba")
 
-_setting_cache: dict[tuple[str, str], SettingData] = {}
-_model_cache: dict[tuple[str, str, str], object] = {}
+#: one registry shared by every bench process-wide (cache counters,
+#: plus whatever the bench itself adopts into it)
+BENCH_METRICS = MetricsRegistry()
+
+
+class BenchCache:
+    """A bounded LRU mapping with hit/miss/eviction counters.
+
+    The harness used to keep plain module-level dicts: fine for one
+    bench, unbounded for a long bench session that walks every
+    ``(dataset, setting, model)`` cell.  ``maxsize`` bounds the resident
+    artifacts (LRU eviction); the counters land in
+    :data:`BENCH_METRICS` as ``bench.cache.<name>.{hits,misses,
+    evictions}`` and a ``bench.cache.<name>.size`` gauge.
+    """
+
+    def __init__(self, name: str, maxsize: int = 32, metrics: MetricsRegistry | None = None):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.metrics = metrics if metrics is not None else BENCH_METRICS
+        self._data: OrderedDict = OrderedDict()
+        self._c_hits = self.metrics.counter(f"bench.cache.{name}.hits")
+        self._c_misses = self.metrics.counter(f"bench.cache.{name}.misses")
+        self._c_evictions = self.metrics.counter(f"bench.cache.{name}.evictions")
+        self._g_size = self.metrics.gauge(f"bench.cache.{name}.size")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get_or_build(self, key, build):
+        """Return the cached value, building (and possibly evicting) on miss."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._c_hits.inc()
+            return self._data[key]
+        self._c_misses.inc()
+        value = self._data[key] = build()
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self._c_evictions.inc()
+        self._g_size.set(len(self._data))
+        return value
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters keep their totals)."""
+        self._data.clear()
+        self._g_size.set(0)
+
+
+_setting_cache = BenchCache("settings", maxsize=24)
+_model_cache = BenchCache("models", maxsize=48)
+
+
+def clear_caches() -> None:
+    """Release every cached setting and model (e.g. between bench areas)."""
+    _setting_cache.clear()
+    _model_cache.clear()
 
 
 def get_setting(dataset: str, setting: str) -> SettingData:
     """Cached train/calibration/test triple for one Table-I cell."""
-    key = (dataset, setting)
-    if key not in _setting_cache:
-        _setting_cache[key] = make_setting(
+    return _setting_cache.get_or_build(
+        (dataset, setting),
+        lambda: make_setting(
             dataset, setting, n_sufficient=N_SUFFICIENT, random_state=SEED
-        )
-    return _setting_cache[key]
+        ),
+    )
 
 
 def get_rdrp(dataset: str, setting: str) -> RobustDRP:
     """Cached fitted+calibrated rDRP (its ``.drp`` is the DRP arm)."""
-    key = (dataset, setting, "rdrp")
-    if key not in _model_cache:
+
+    def build() -> RobustDRP:
         data = get_setting(dataset, setting)
         model = RobustDRP(random_state=SEED, mc_samples=MC_SAMPLES, **DRP_PARAMS)
         model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
@@ -58,19 +131,21 @@ def get_rdrp(dataset: str, setting: str) -> RobustDRP:
             data.calibration.y_r,
             data.calibration.y_c,
         )
-        _model_cache[key] = model
-    return _model_cache[key]
+        return model
+
+    return _model_cache.get_or_build((dataset, setting, "rdrp"), build)
 
 
 def get_dr(dataset: str, setting: str) -> DirectRank:
     """Cached fitted Direct Rank baseline."""
-    key = (dataset, setting, "dr")
-    if key not in _model_cache:
+
+    def build() -> DirectRank:
         data = get_setting(dataset, setting)
         model = DirectRank(hidden=48, epochs=60, random_state=SEED)
         model.fit(data.train.x, data.train.t, data.train.y_r, data.train.y_c)
-        _model_cache[key] = model
-    return _model_cache[key]
+        return model
+
+    return _model_cache.get_or_build((dataset, setting, "dr"), build)
 
 
 def evaluate(roi_pred: np.ndarray, data: SettingData) -> float:
@@ -153,16 +228,56 @@ def print_header(title: str) -> None:
     print("=" * 72)
 
 
+# ---------------------------------------------------------------------------
+# benchmark trajectory recording (ROADMAP item 4)
+# ---------------------------------------------------------------------------
+def record_result(
+    area: str,
+    metrics: dict[str, dict],
+    smoke: bool,
+    snapshot: dict | None = None,
+) -> Path | None:
+    """Append one bench run to the area's ``BENCH_<area>.json`` trajectory.
+
+    Opt-in so casual bench runs never dirty the committed files:
+    recording happens only when ``REPRO_BENCH_DIR`` names a target
+    directory (CI: a scratch dir whose files are diffed against the
+    committed baseline and uploaded as artifacts) or
+    ``REPRO_BENCH_RECORD=1`` (write at the repo root, refreshing the
+    committed trajectory itself).  Returns the path written, or None
+    when recording is off.
+    """
+    bench_dir = os.environ.get("REPRO_BENCH_DIR")
+    if not bench_dir and os.environ.get("REPRO_BENCH_RECORD") != "1":
+        return None
+    root = Path(bench_dir) if bench_dir else Path(__file__).resolve().parent.parent
+    root.mkdir(parents=True, exist_ok=True)
+    path = bench_path(root, area)
+    append_run(
+        path,
+        area=area,
+        metrics=metrics,
+        mode="smoke" if smoke else "full",
+        snapshot=snapshot,
+    )
+    print(f"[trajectory] recorded {'smoke' if smoke else 'full'} run -> {path}")
+    return path
+
+
 __all__ = [
+    "BENCH_METRICS",
+    "BenchCache",
     "DATASETS",
     "MC_SAMPLES",
     "SETTING_NAMES",
     "TABLE1_METHODS",
+    "clear_caches",
     "evaluate",
     "get_dr",
     "get_rdrp",
     "get_setting",
     "print_header",
+    "record_result",
     "run_dr",
     "run_dr_mc",
     "run_drp",

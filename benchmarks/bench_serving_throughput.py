@@ -8,7 +8,14 @@ numbers quantify the two serving levers the subsystem exists for:
   Python dispatch overhead, so requests/sec must grow sharply with the
   batch size (the ISSUE acceptance bar: >= 10x from batch 1 to 256);
 * caching — repeat feature rows (retargeted users) skip the model
-  entirely, stacking on top of the batching gain.
+  entirely, stacking on top of the batching gain;
+* observability — a live :class:`~repro.obs.MetricsRegistry` must cost
+  under 5% of scoring throughput (the engine's counters are the same
+  objects either way; only span/export bookkeeping differs).
+
+Recorded to the ``BENCH_serving.json`` trajectory when
+``REPRO_BENCH_DIR`` / ``REPRO_BENCH_RECORD`` is set (see
+``_harness.record_result``).
 """
 
 from __future__ import annotations
@@ -17,19 +24,25 @@ import time
 
 import numpy as np
 
-from _harness import get_rdrp, get_setting, print_header
+from _harness import get_rdrp, get_setting, print_header, record_result
+from repro.obs import MetricsRegistry
 from repro.serving.engine import ScoringEngine
 
 BATCH_SIZES = (1, 32, 256)
 N_REQUESTS = 2048
 N_UNIQUE = 256  # unique rows in the cache-on stream (87.5% hit rate)
+OVERHEAD_ROUNDS = 5  # best-of rounds for the null-vs-live comparison
 
 SMOKE_N_REQUESTS = 256
 SMOKE_N_UNIQUE = 64
 
 
-def _requests_per_second(model, rows, batch_size, cache_size, n_unique) -> tuple[float, float]:
-    engine = ScoringEngine(model, batch_size=batch_size, cache_size=cache_size)
+def _requests_per_second(
+    model, rows, batch_size, cache_size, n_unique, metrics=None
+) -> tuple[float, float]:
+    engine = ScoringEngine(
+        model, batch_size=batch_size, cache_size=cache_size, metrics=metrics
+    )
     if cache_size:  # warm the cache with the unique rows
         for row in rows[:n_unique]:
             engine.submit(row)
@@ -77,3 +90,81 @@ def test_throughput_batch_and_cache(benchmark, smoke) -> None:
         assert rps_256 >= 10.0 * rps_1
         # the cache path must not be slower than cold scoring at equal batch
         assert grid[(256, "on")][0] >= rps_256 * 0.5
+
+    record_result(
+        "serving",
+        {
+            "batching_leverage": {
+                "value": rps_256 / rps_1,
+                "unit": "x",
+                "direction": "higher",
+                "gated": True,
+                # a ratio of same-machine rates, but CI runners vary;
+                # the band still catches batching breaking (~1x)
+                "tolerance": 0.4,
+            },
+            "cache_hit_rate_256": {
+                "value": grid[(256, "on")][1],
+                "direction": "higher",
+                "gated": True,
+                "tolerance": 0.05,
+            },
+            "rps_batch_1": {"value": rps_1, "unit": "req/s"},
+            "rps_batch_256": {"value": rps_256, "unit": "req/s"},
+            "rps_batch_256_cached": {"value": grid[(256, "on")][0], "unit": "req/s"},
+        },
+        smoke=smoke,
+    )
+
+
+def test_metrics_overhead(benchmark, smoke) -> None:
+    """A live registry must cost < 5% of scoring throughput.
+
+    The engine's counters and latency sketch are the *same objects*
+    whether or not a registry collects them, so the only added work
+    with observability on is the per-flush span and queue gauge.
+    Best-of-``OVERHEAD_ROUNDS`` timing on each side squeezes out
+    scheduler noise before the ratio is taken.
+    """
+    n_requests = SMOKE_N_REQUESTS if smoke else N_REQUESTS
+
+    def run() -> tuple[float, float]:
+        data = get_setting("criteo", "SuNo")
+        model = get_rdrp("criteo", "SuNo").drp
+        rows = data.test.x[:n_requests]
+        best_null = best_live = 0.0
+        for _ in range(OVERHEAD_ROUNDS):
+            best_null = max(
+                best_null, _requests_per_second(model, rows, 256, 0, 0)[0]
+            )
+            best_live = max(
+                best_live,
+                _requests_per_second(
+                    model, rows, 256, 0, 0, metrics=MetricsRegistry()
+                )[0],
+            )
+        return best_null, best_live
+
+    best_null, best_live = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = best_live / best_null
+    print_header(f"metrics overhead — live/null throughput ({n_requests} requests)")
+    print(f"  null registry: {best_null:>10.0f} req/s")
+    print(f"  live registry: {best_live:>10.0f} req/s")
+    print(f"  ratio: {ratio:.3f} (bar: >= 0.95)")
+    if not smoke:  # smoke sizes are too small for a stable ratio
+        assert ratio >= 0.95
+
+    record_result(
+        "serving_overhead",
+        {
+            "live_over_null_throughput": {
+                "value": ratio,
+                "direction": "higher",
+                "gated": not smoke,
+                "tolerance": 0.05,
+            },
+            "rps_null_registry": {"value": best_null, "unit": "req/s"},
+            "rps_live_registry": {"value": best_live, "unit": "req/s"},
+        },
+        smoke=smoke,
+    )

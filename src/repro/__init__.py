@@ -47,6 +47,19 @@ scoring-engine flushes asynchronous, while :class:`Clock` /
 :class:`MultiDayPacer` chains pacing across days with under/over-spend
 carryover, and ``TrafficReplay.replay_days`` replays whole campaigns.
 
+Observability (``repro.obs``)
+-----------------------------
+Every layer above instruments itself onto one metrics/tracing package:
+:class:`MetricsRegistry` collects counters, gauges, and log-bucket
+:class:`~repro.obs.Histogram` sketches (O(1) record, ~1% quantile
+error) whose snapshots merge across shards and diff across days;
+clock-aware spans time operations in exact simulated seconds under a
+:class:`ManualClock`; exporters cover lossless JSON and the Prometheus
+text format.  Pass ``metrics=MetricsRegistry()`` to an engine, pacer,
+promoter, backend, or replay to collect — the default null registry
+keeps un-instrumented paths bit-identical.  See
+``docs/OBSERVABILITY.md``.
+
 Cross-policy replay (``repro.ab.replay``)
 -----------------------------------------
 :class:`PolicyReplay` compares several policy sets on *identical*
@@ -96,6 +109,7 @@ from repro.data import (
     multi_treatment_rct,
 )
 from repro.metrics import aucc, cost_curve, qini_coefficient
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.runtime import (
     ManualClock,
     ProcessBackend,
@@ -114,7 +128,7 @@ from repro.serving import (
     TrafficReplay,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ABTest",
@@ -134,7 +148,9 @@ __all__ = [
     "HeuristicCalibration",
     "IsotonicRoiRecalibration",
     "ManualClock",
+    "MetricsRegistry",
     "MultiDayPacer",
+    "NULL_REGISTRY",
     "OffsetNet",
     "ProcessBackend",
     "ScoringEngine",

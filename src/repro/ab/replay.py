@@ -59,6 +59,7 @@ from repro.ab.experiment import (
     run_backend,
 )
 from repro.ab.platform import Platform
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.runtime import ExecutionBackend
 from repro.utils.rng import as_generator
 from repro.utils.stats import MeanCI, mean_confidence_interval
@@ -74,9 +75,14 @@ class PolicyReplayResult:
     every set saw the same cohorts, partitions, and outcome uniforms,
     any across-set comparison of same-day values is a paired
     comparison.
+
+    When the replay carries a :class:`~repro.obs.MetricsRegistry`,
+    ``metrics_deltas[d]`` is the JSON-shaped snapshot delta of day
+    ``d`` — what every registered metric did during that one day.
     """
 
     results: dict[str, ABTestResult] = field(default_factory=dict)
+    metrics_deltas: list[dict] = field(default_factory=list)
 
     @property
     def set_names(self) -> list[str]:
@@ -157,6 +163,12 @@ class PolicyReplay:
         A shared :class:`~repro.runtime.ExecutionBackend` for cohort
         generation; takes precedence over ``parallel`` and is never
         shut down by the replay.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` collecting the replay's
+        counters (``replay.policy.days`` / ``.users`` / ``.scorings``)
+        and per-day snapshot deltas
+        (:attr:`PolicyReplayResult.metrics_deltas`).  ``None``
+        (default) records nothing.
     """
 
     def __init__(
@@ -168,6 +180,7 @@ class PolicyReplay:
         parallel: bool | None = None,
         n_workers: int | None = None,
         backend: ExecutionBackend | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not policy_sets:
             raise ValueError("At least one policy set is required")
@@ -184,6 +197,10 @@ class PolicyReplay:
         self.parallel = None if parallel is None else bool(parallel)
         self.n_workers = n_workers
         self.backend = backend
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_days = self.metrics.counter("replay.policy.days")
+        self._c_users = self.metrics.counter("replay.policy.users")
+        self._c_scorings = self.metrics.counter("replay.policy.scorings")
         self._rng = as_generator(random_state)
 
     def _max_arms(self) -> int:
@@ -234,6 +251,8 @@ class PolicyReplay:
         arm, same random-arm order, same realised outcomes per user.
         """
         check_cohort_size(cohort.n, self._max_arms())
+        instrumented = self.metrics is not NULL_REGISTRY
+        metrics_before = self.metrics.snapshot() if instrumented else None
         cost_uniforms = self._rng.random(cohort.n)
         reward_uniforms = self._rng.random(cohort.n)
         split_seed = int(self._rng.integers(0, np.iinfo(np.int64).max))
@@ -251,4 +270,11 @@ class PolicyReplay:
             )
             result.results[set_name].days.append(
                 build_day_result(day, arms, sizes, outcomes)
+            )
+            self._c_scorings.inc()
+        self._c_days.inc()
+        self._c_users.inc(cohort.n)
+        if instrumented:
+            result.metrics_deltas.append(
+                self.metrics.snapshot().delta(metrics_before).to_dict()
             )

@@ -1,0 +1,60 @@
+"""One observability layer: metrics, tracing spans, and exporters.
+
+``repro.obs`` gives the serving/runtime stack self-knowledge:
+
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (O(1) log-bucket sketch with exact quantile
+  error bounds), collected by a :class:`MetricsRegistry` whose
+  :class:`Snapshot`\\ s **merge** (commutatively — N serving shards
+  fold into one fleet view) and **delta** (per-day accounting).  The
+  :data:`NULL_REGISTRY` twin makes un-instrumented paths cost one
+  no-op call, so observability off means bit-identical behaviour.
+* :mod:`repro.obs.tracing` — clock-aware :func:`~repro.obs.tracing
+  .span`\\ s: under a :class:`~repro.runtime.ManualClock` span
+  durations are exact simulated time.
+* :mod:`repro.obs.export` — JSON snapshot/delta serialisation and the
+  Prometheus text exposition format (plus a parser for conformance
+  round-trips).
+* :mod:`repro.obs.trajectory` — the committed ``BENCH_<area>.json``
+  benchmark trajectory: schema, recording, and the >20%-regression
+  diff CI runs.
+
+Like :mod:`repro.runtime`, this package only depends on the standard
+library (the ``Clock`` protocol is structural), so every layer may
+instrument itself onto it.
+"""
+
+from repro.obs.export import from_json, parse_prometheus, prometheus_name, to_json, to_prometheus
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    CounterSnapshot,
+    Gauge,
+    GaugeSnapshot,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    NullRegistry,
+    Snapshot,
+)
+from repro.obs.tracing import Span, span
+
+__all__ = [
+    "Counter",
+    "CounterSnapshot",
+    "Gauge",
+    "GaugeSnapshot",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Snapshot",
+    "Span",
+    "from_json",
+    "parse_prometheus",
+    "prometheus_name",
+    "span",
+    "to_json",
+    "to_prometheus",
+]

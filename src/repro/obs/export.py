@@ -1,0 +1,176 @@
+"""Exporters: JSON snapshots/deltas and Prometheus text format.
+
+Two consumers, two formats:
+
+* **JSON** — the machine-readable trajectory format.  A snapshot (or a
+  snapshot delta) serialises losslessly through
+  :func:`to_json` / :func:`from_json`, which is what the benchmark
+  harness commits into ``BENCH_<area>.json`` and what the traffic
+  replay attaches to per-day results.
+* **Prometheus text exposition** — :func:`to_prometheus` renders a
+  snapshot in the v0.0.4 text format (counters as ``_total`` samples,
+  histograms as cumulative ``le``-labelled buckets with ``_sum`` and
+  ``_count``), so a scrape endpoint is one ``HTTPServer`` handler away
+  and the numbers graph in any off-the-shelf stack.
+  :func:`parse_prometheus` reads that format back — the conformance
+  test round-trips every metric kind through it.
+
+Metric names here are dotted (``engine.flush.batch_full``); Prometheus
+names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots (and any other
+illegal character) export as underscores.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.obs.metrics import Snapshot
+
+__all__ = [
+    "from_json",
+    "parse_prometheus",
+    "prometheus_name",
+    "to_json",
+    "to_prometheus",
+]
+
+JSON_SCHEMA = "repro.obs.snapshot/1"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+# one exposition sample: name, optional {labels}, value
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+def to_json(snapshot: Snapshot, indent: int | None = None) -> str:
+    """Serialise a snapshot (or delta — any :class:`Snapshot`) to JSON."""
+    return json.dumps(
+        {"schema": JSON_SCHEMA, "metrics": snapshot.to_dict()},
+        indent=indent,
+        sort_keys=True,
+    )
+
+def from_json(text: str) -> Snapshot:
+    """Inverse of :func:`to_json` (lossless round-trip)."""
+    doc = json.loads(text)
+    if doc.get("schema") != JSON_SCHEMA:
+        raise ValueError(f"not a {JSON_SCHEMA} document: {doc.get('schema')!r}")
+    return Snapshot.from_dict(doc["metrics"])
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (v0.0.4)
+# ---------------------------------------------------------------------------
+def prometheus_name(name: str) -> str:
+    """Dotted metric name → legal Prometheus name (dots become ``_``)."""
+    fixed = _NAME_FIX.sub("_", name)
+    if not _NAME_OK.match(fixed):
+        fixed = "_" + fixed
+    return fixed
+
+
+def _fmt(value: float) -> str:
+    """Shortest exact float representation (round-trips via float())."""
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: Snapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in snapshot:  # Snapshot iterates sorted
+        metric = snapshot[name]
+        pname = prometheus_name(name)
+        if metric.kind == "counter":
+            sample = pname if pname.endswith("_total") else pname + "_total"
+            lines.append(f"# TYPE {sample} counter")
+            lines.append(f"{sample} {_fmt(metric.value)}")
+        elif metric.kind == "gauge":
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_fmt(metric.value)}")
+        elif metric.kind == "histogram":
+            lines.append(f"# TYPE {pname} histogram")
+            # cumulative buckets: the zero bucket (values at/below the
+            # trackable floor), each occupied gamma bucket's upper
+            # bound, then the mandatory +Inf bucket equal to count
+            cum = metric.zero_count
+            lines.append(f'{pname}_bucket{{le="0.0"}} {cum}')
+            for idx in sorted(metric.buckets):
+                cum += metric.buckets[idx]
+                upper = metric.gamma ** idx
+                lines.append(f'{pname}_bucket{{le="{_fmt(upper)}"}} {cum}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{pname}_sum {_fmt(metric.sum)}")
+            lines.append(f"{pname}_count {metric.count}")
+        else:  # pragma: no cover - snapshot kinds are closed
+            raise ValueError(f"cannot export metric kind {metric.kind!r}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse text exposition back into ``{name: parsed metric}``.
+
+    Returns, per declared metric family: ``{"type": ..., "value": ...}``
+    for counters (name without the ``_total`` suffix is *not* restored
+    — the exporter's output name is the key) and gauges, and
+    ``{"type": "histogram", "buckets": [(le, cum), ...], "sum": ...,
+    "count": ...}`` for histograms.  Raises :class:`ValueError` on any
+    line that is not a comment, a blank, or a well-formed sample — the
+    format-conformance test feeds the exporter's output through here.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"malformed TYPE line: {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        name, labels, value_s = m.group("name", "labels", "value")
+        value = float(value_s)
+        # attach the sample to its family
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        declared = types.get(base)
+        if declared is None:
+            raise ValueError(f"sample {name!r} has no preceding TYPE declaration")
+        fam = families.setdefault(base, {"type": declared})
+        if declared == "histogram":
+            if name.endswith("_bucket"):
+                le_m = re.search(r'le="([^"]*)"', labels or "")
+                if le_m is None:
+                    raise ValueError(f"histogram bucket without le label: {raw!r}")
+                fam.setdefault("buckets", []).append((le_m.group(1), value))
+            elif name.endswith("_sum"):
+                fam["sum"] = value
+            elif name.endswith("_count"):
+                fam["count"] = value
+            else:
+                raise ValueError(f"unexpected histogram sample {name!r}")
+        else:
+            fam["value"] = value
+    return families

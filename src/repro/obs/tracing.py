@@ -1,0 +1,74 @@
+"""Clock-aware tracing spans.
+
+A span times one named operation and records the duration into a
+histogram on the owning registry — ``span("engine.flush")`` produces
+the metric ``span.engine.flush.seconds``, whose quantiles are the
+flush-time distribution.  The crucial property is *which clock* a span
+reads: it takes any :class:`~repro.runtime.Clock`, so a component
+running under a :class:`~repro.runtime.ManualClock` (the traffic
+simulator, the deadline tests) produces **exact simulated durations**
+— a span around a flush that the simulator advanced 5 ms through
+records exactly 0.005, deterministically.  Without a clock it falls
+back to ``time.perf_counter`` wall time.
+
+Spans are deliberately minimal: no ids, no parents, no context
+propagation — just named duration histograms.  That is the part of
+tracing this codebase can consume today (quantiles per operation,
+mergeable across shards); a full propagated trace tree can grow on top
+without changing call sites.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Span", "span"]
+
+
+class _PerfClock:
+    """Wall-time fallback when the caller has no injected clock."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+_PERF_CLOCK = _PerfClock()
+
+
+class Span:
+    """Context manager timing one operation into a histogram.
+
+    Re-usable (each ``with`` records one duration) and exception-safe:
+    a raising body still records the time spent, so failure latencies
+    are not silently censored out of the distribution.
+    """
+
+    __slots__ = ("_hist", "_now", "_t0")
+
+    def __init__(self, hist, now: Callable[[], float]) -> None:
+        self._hist = hist
+        self._now = now
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = self._now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._hist.record(max(0.0, self._now() - self._t0))
+
+
+def span(registry, name: str, clock=None) -> Span:
+    """Build a span recording into ``span.<name>.seconds`` on ``registry``.
+
+    ``clock`` is any :class:`~repro.runtime.Clock`; under a
+    :class:`~repro.runtime.ManualClock` the recorded duration is exact
+    simulated time.  ``None`` uses ``time.perf_counter``.  Normally
+    reached as :meth:`MetricsRegistry.span
+    <repro.obs.metrics.MetricsRegistry.span>` (the null registry
+    returns a shared no-op span instead).
+    """
+    hist = registry.histogram(f"span.{name}.seconds")
+    now = (clock or _PERF_CLOCK).now
+    return Span(hist, now)

@@ -1,0 +1,334 @@
+"""Committed benchmark trajectory: ``BENCH_<area>.json`` files and their diff.
+
+ROADMAP item 4's complaint: seven ``bench_*`` scripts print numbers
+and throw them away, so a perf regression lands silently.  This module
+is the recording half of the fix — one JSON file per bench area at the
+repo root, appended to per recorded run, diffed in CI against the last
+committed numbers.
+
+File schema (``repro.bench/1``)::
+
+    {
+      "schema": "repro.bench/1",
+      "area": "serving",
+      "runs": [
+        {
+          "recorded_at": "2026-08-08T12:00:00Z",
+          "mode": "smoke" | "full",
+          "commit": "<sha or null>",
+          "metrics": {
+            "<name>": {"value": 123.4, "unit": "req/s",
+                        "direction": "higher" | "lower",
+                        "gated": true, "tolerance": 0.2},
+            ...
+          },
+          "snapshot": { ... repro.obs JSON snapshot metrics ... }
+        },
+        ...
+      ]
+    }
+
+``direction`` says which way is better; ``gated`` marks the metrics
+the trajectory diff enforces (un-gated metrics are recorded context —
+absolute rates vary across machines, so CI gates only metrics that are
+machine-portable: deterministic counter values and dimensionless
+ratios).  ``tolerance`` overrides the diff's default 20% band per
+metric.  Runs are diffed **same-mode only**: smoke runs (tiny sizes,
+every CI push) against the last committed smoke run, full runs (real
+sizes, recorded locally per PR) against the last committed full run.
+
+CLI::
+
+    python -m repro.obs.trajectory validate BENCH_*.json
+    python -m repro.obs.trajectory diff --baseline . --new bench_out [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Regression",
+    "append_run",
+    "bench_path",
+    "diff_runs",
+    "latest_run",
+    "load",
+    "validate",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+MODES = ("smoke", "full")
+DIRECTIONS = ("higher", "lower")
+DEFAULT_TOLERANCE = 0.2
+
+
+def bench_path(root: str | Path, area: str) -> Path:
+    """Repo-root path of one area's trajectory file."""
+    return Path(root) / f"BENCH_{area}.json"
+
+
+def _utcnow() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _git_commit() -> str | None:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+def validate(doc: dict, where: str = "<doc>") -> None:
+    """Raise :class:`ValueError` on the first schema violation."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"{where}: document must be an object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{where}: schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}")
+    area = doc.get("area")
+    if not isinstance(area, str) or not area:
+        raise ValueError(f"{where}: area must be a non-empty string")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError(f"{where}: runs must be a non-empty list")
+    for i, run in enumerate(runs):
+        tag = f"{where}: runs[{i}]"
+        if not isinstance(run, dict):
+            raise ValueError(f"{tag} must be an object")
+        if run.get("mode") not in MODES:
+            raise ValueError(f"{tag}: mode must be one of {MODES}, got {run.get('mode')!r}")
+        if not isinstance(run.get("recorded_at"), str):
+            raise ValueError(f"{tag}: recorded_at must be a string timestamp")
+        if run.get("commit") is not None and not isinstance(run["commit"], str):
+            raise ValueError(f"{tag}: commit must be a string or null")
+        metrics = run.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            raise ValueError(f"{tag}: metrics must be a non-empty object")
+        for name, m in metrics.items():
+            mtag = f"{tag}: metrics[{name!r}]"
+            if not isinstance(m, dict):
+                raise ValueError(f"{mtag} must be an object")
+            value = m.get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{mtag}: value must be a number, got {value!r}")
+            if not isinstance(m.get("unit"), str):
+                raise ValueError(f"{mtag}: unit must be a string")
+            if m.get("direction") not in DIRECTIONS:
+                raise ValueError(
+                    f"{mtag}: direction must be one of {DIRECTIONS}, got {m.get('direction')!r}"
+                )
+            if not isinstance(m.get("gated"), bool):
+                raise ValueError(f"{mtag}: gated must be a boolean")
+            tol = m.get("tolerance", DEFAULT_TOLERANCE)
+            if not isinstance(tol, (int, float)) or isinstance(tol, bool) or not 0 < tol:
+                raise ValueError(f"{mtag}: tolerance must be a positive number, got {tol!r}")
+        if run.get("snapshot") is not None and not isinstance(run["snapshot"], dict):
+            raise ValueError(f"{tag}: snapshot must be an object or null")
+
+
+def load(path: str | Path) -> dict:
+    """Read and validate one trajectory file."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    validate(doc, where=str(path))
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# recording
+# ---------------------------------------------------------------------------
+def append_run(
+    path: str | Path,
+    area: str,
+    metrics: dict[str, dict],
+    mode: str,
+    snapshot: dict | None = None,
+    commit: str | None = None,
+    recorded_at: str | None = None,
+) -> dict:
+    """Append one run to ``path`` (creating the file if absent).
+
+    ``metrics`` maps metric name to a dict with at least ``value``;
+    ``unit`` (default ``""``), ``direction`` (default ``"higher"``),
+    ``gated`` (default False) and ``tolerance`` are filled in.  The
+    written document is validated before it hits disk, so a malformed
+    bench can never corrupt the committed trajectory.  Returns the
+    appended run.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    path = Path(path)
+    if path.exists():
+        doc = load(path)
+        if doc["area"] != area:
+            raise ValueError(f"{path} records area {doc['area']!r}, not {area!r}")
+    else:
+        doc = {"schema": BENCH_SCHEMA, "area": area, "runs": []}
+    run = {
+        "recorded_at": recorded_at or _utcnow(),
+        "mode": mode,
+        "commit": commit if commit is not None else _git_commit(),
+        "metrics": {
+            name: {
+                "value": float(m["value"]),
+                "unit": str(m.get("unit", "")),
+                "direction": m.get("direction", "higher"),
+                "gated": bool(m.get("gated", False)),
+                **(
+                    {"tolerance": float(m["tolerance"])}
+                    if "tolerance" in m
+                    else {}
+                ),
+            }
+            for name, m in metrics.items()
+        },
+        "snapshot": snapshot,
+    }
+    doc["runs"].append(run)
+    validate(doc, where=str(path))
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return run
+
+
+def latest_run(doc: dict, mode: str) -> dict | None:
+    """Most recent run of the given mode, or None."""
+    for run in reversed(doc["runs"]):
+        if run["mode"] == mode:
+            return run
+    return None
+
+
+# ---------------------------------------------------------------------------
+# diffing
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that moved the wrong way past its tolerance."""
+
+    area: str
+    metric: str
+    baseline: float
+    new: float
+    direction: str
+    tolerance: float
+
+    def __str__(self) -> str:
+        change = (self.new - self.baseline) / abs(self.baseline) if self.baseline else float("inf")
+        return (
+            f"[{self.area}] {self.metric}: {self.baseline:g} -> {self.new:g} "
+            f"({change:+.1%}, want {self.direction}, tolerance {self.tolerance:.0%})"
+        )
+
+
+def diff_runs(
+    baseline: dict,
+    new: dict,
+    area: str = "?",
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Regression]:
+    """Gated-metric regressions of ``new`` relative to ``baseline``.
+
+    A gated metric regresses when it moves against its ``direction``
+    by more than its tolerance (default 20%): ``higher`` fails below
+    ``baseline * (1 - tol)``, ``lower`` fails above ``baseline *
+    (1 + tol)``.  A gated baseline metric missing from the new run is
+    itself a regression — dropping a number must be explicit, not
+    silent.
+    """
+    regressions: list[Regression] = []
+    for name, m in baseline["metrics"].items():
+        if not m.get("gated"):
+            continue
+        tol = float(m.get("tolerance", default_tolerance))
+        new_m = new["metrics"].get(name)
+        if new_m is None:
+            regressions.append(
+                Regression(area, name, float(m["value"]), float("nan"), m["direction"], tol)
+            )
+            continue
+        old_v, new_v = float(m["value"]), float(new_m["value"])
+        if m["direction"] == "higher":
+            bad = new_v < old_v * (1.0 - tol) - 1e-12
+        else:
+            bad = new_v > old_v * (1.0 + tol) + 1e-12
+        if bad:
+            regressions.append(Regression(area, name, old_v, new_v, m["direction"], tol))
+    return regressions
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trajectory",
+        description="Validate and diff committed BENCH_<area>.json trajectories.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_val = sub.add_parser("validate", help="schema-check trajectory files")
+    p_val.add_argument("files", nargs="+")
+    p_diff = sub.add_parser(
+        "diff", help="fail on gated-metric regressions vs the committed baseline"
+    )
+    p_diff.add_argument("--baseline", default=".", help="dir with committed BENCH_*.json")
+    p_diff.add_argument("--new", required=True, help="dir with freshly recorded BENCH_*.json")
+    p_diff.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    if args.cmd == "validate":
+        for f in args.files:
+            load(f)
+            print(f"ok      {f}")
+        return 0
+
+    new_files = sorted(Path(args.new).glob("BENCH_*.json"))
+    if not new_files:
+        print(f"no BENCH_*.json under {args.new} — nothing to diff")
+        return 1
+    failures: list[Regression] = []
+    for new_file in new_files:
+        new_doc = load(new_file)
+        area = new_doc["area"]
+        base_file = bench_path(args.baseline, area)
+        if not base_file.exists():
+            print(f"new     {area}: no committed baseline ({base_file}) — trajectory starts here")
+            continue
+        base_doc = load(base_file)
+        for mode in MODES:
+            new_run = latest_run(new_doc, mode)
+            if new_run is None:
+                continue
+            base_run = latest_run(base_doc, mode)
+            if base_run is None:
+                print(f"new     {area}/{mode}: no committed {mode} baseline yet")
+                continue
+            regs = diff_runs(base_run, new_run, area=area, default_tolerance=args.tolerance)
+            n_gated = sum(1 for m in base_run["metrics"].values() if m.get("gated"))
+            status = "FAIL" if regs else "ok"
+            print(f"{status:7s} {area}/{mode}: {n_gated} gated metrics, {len(regs)} regressions")
+            failures.extend(regs)
+    for reg in failures:
+        print(f"  REGRESSION {reg}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,13 @@ Pools start on the first ``submit`` (constructing a backend costs
 nothing), survive across calls — *one* pool serves all days of an
 :class:`~repro.ab.experiment.ABTest` run — and count their startups in
 ``start_count`` so tests can pin the no-churn guarantee.
+
+Every backend optionally takes a :class:`~repro.obs.MetricsRegistry`
+and counts ``backend.tasks_submitted`` / ``backend.tasks_completed`` /
+``backend.pool_starts`` into it.  With the default ``None`` the
+counters are the shared no-op singletons and pool futures get no
+done-callbacks attached, so un-instrumented execution is byte-for-byte
+the historical path.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 __all__ = [
     "ExecutionBackend",
@@ -86,19 +95,24 @@ class SerialBackend:
     propagation points — it had before the runtime layer existed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self.start_count = 0  # no pool ever starts
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_submitted = self.metrics.counter("backend.tasks_submitted")
+        self._c_completed = self.metrics.counter("backend.tasks_completed")
 
     @property
     def n_workers(self) -> int:
         return 1
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        self._c_submitted.inc()
         future: Future = Future()
         try:
             future.set_result(fn(*args, **kwargs))
         except BaseException as exc:  # the future carries it, as a pool's would
             future.set_exception(exc)
+        self._c_completed.inc()  # inline execution: done by the time we return
         return future
 
     def shutdown(self, wait: bool = True) -> None:
@@ -118,10 +132,15 @@ class _PoolBackend:
     """Shared machinery of the thread/process backends: a lazily
     created, reusable ``concurrent.futures`` pool."""
 
-    def __init__(self, n_workers: int | None = None) -> None:
+    def __init__(self, n_workers: int | None = None, metrics: MetricsRegistry | None = None) -> None:
         self._n_workers = resolve_n_workers(n_workers)
         self._pool: Executor | None = None
         self.start_count = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._instrumented = metrics is not None
+        self._c_submitted = self.metrics.counter("backend.tasks_submitted")
+        self._c_completed = self.metrics.counter("backend.tasks_completed")
+        self._c_pool_starts = self.metrics.counter("backend.pool_starts")
 
     def _make_pool(self) -> Executor:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -139,7 +158,12 @@ class _PoolBackend:
         if self._pool is None:
             self._pool = self._make_pool()
             self.start_count += 1
-        return self._pool.submit(fn, *args, **kwargs)
+            self._c_pool_starts.inc()
+        self._c_submitted.inc()
+        future = self._pool.submit(fn, *args, **kwargs)
+        if self._instrumented:  # no callback churn on the un-instrumented path
+            future.add_done_callback(lambda _f: self._c_completed.inc())
+        return future
 
     def shutdown(self, wait: bool = True) -> None:
         """Release the workers; the next ``submit`` starts a fresh pool."""

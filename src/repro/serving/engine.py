@@ -56,6 +56,7 @@ from collections import OrderedDict, deque
 
 import numpy as np
 
+from repro.obs import NULL_REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
 from repro.runtime import Clock, DeadlineLoop, ExecutionBackend, SerialBackend, SystemClock
 from repro.serving.policy import DecisionPolicy, GreedyROIPolicy
 from repro.serving.registry import ModelRegistry
@@ -63,6 +64,20 @@ from repro.serving.registry import ModelRegistry
 __all__ = ["ScoringEngine"]
 
 _FLUSH_KEY = "flush"  # the engine's single deadline-loop slot
+
+# the engine's counter vocabulary; ``stats`` renders these, and a real
+# registry exports them as ``engine.<name>``
+_STAT_NAMES = (
+    "requests",
+    "cache_hits",
+    "cache_misses",
+    "flushes",
+    "flush_batch_full",
+    "flush_deadline",
+    "flush_manual",
+    "model_calls",
+    "rows_scored",
+)
 
 
 def _score_rows(policy: DecisionPolicy, model: object, rows: np.ndarray) -> np.ndarray:
@@ -108,7 +123,23 @@ class ScoringEngine:
         Keep at most this many recent entries in :attr:`latencies`
         (oldest dropped in blocks; :attr:`latencies_dropped` counts
         them) so a long-lived clocked engine doesn't grow without
-        bound.  ``None`` disables the cap.
+        bound.  ``None`` disables the cap.  Quantiles are *not*
+        affected by the cap: :meth:`latency_quantile` reads
+        :attr:`latency_hist`, a bounded-memory log-bucket sketch that
+        sees every recorded latency.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to export this engine's
+        metrics into (counters ``engine.<stat>``, gauge
+        ``engine.queue_depth``, histogram ``engine.latency_seconds``,
+        span ``span.engine.flush.seconds``).  ``None`` (default) keeps
+        them engine-local: the engine always *keeps* its own real
+        counters (they are what :attr:`stats` renders), the registry
+        only decides whether anything collects them — so enabling
+        observability costs nothing on the hot path and the scoring
+        results are bit-identical either way.  Use one registry per
+        engine (a second engine adopting into the same registry
+        replaces the first's metrics); shard-level registries merge
+        via :meth:`~repro.obs.Snapshot.merge`.
     """
 
     def __init__(
@@ -121,6 +152,7 @@ class ScoringEngine:
         clock: Clock | None = None,
         backend: ExecutionBackend | None = None,
         latency_log_size: int | None = 1_000_000,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if isinstance(models, ModelRegistry):
             self.registry = models
@@ -169,17 +201,30 @@ class ScoringEngine:
         self.latencies: list[float] = []
         #: entries evicted from :attr:`latencies` by the size cap
         self.latencies_dropped = 0
-        self.stats = {
-            "requests": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "flushes": 0,
-            "flush_batch_full": 0,
-            "flush_deadline": 0,
-            "flush_manual": 0,
-            "model_calls": 0,
-            "rows_scored": 0,
+        # the engine's metrics are real whether or not a registry
+        # collects them — ``stats`` renders the counters, so the hot
+        # path costs the same with observability on or off
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._counters: dict[str, Counter] = {
+            name: self.metrics.adopt(Counter(f"engine.{name}")) for name in _STAT_NAMES
         }
+        self._c_requests = self._counters["requests"]
+        self._c_cache_hits = self._counters["cache_hits"]
+        self._c_cache_misses = self._counters["cache_misses"]
+        self._c_flushes = self._counters["flushes"]
+        self._c_model_calls = self._counters["model_calls"]
+        self._c_rows_scored = self._counters["rows_scored"]
+        self._c_flush_reason = {
+            reason: self._counters["flush_" + reason]
+            for reason in ("batch_full", "deadline", "manual")
+        }
+        self._g_queue = self.metrics.adopt(Gauge("engine.queue_depth"))
+        #: bounded-memory latency sketch over **every** recorded
+        #: submit→score latency (the quantile source; never evicted,
+        #: unlike the capped :attr:`latencies` list)
+        self.latency_hist: Histogram = self.metrics.adopt(
+            Histogram("engine.latency_seconds")
+        )
 
     # ------------------------------------------------------------------
     # request lifecycle
@@ -197,7 +242,7 @@ class ScoringEngine:
         row = np.ascontiguousarray(np.asarray(x_row, dtype=float).ravel())
         rid = self._next_id
         self._next_id += 1
-        self.stats["requests"] += 1
+        self._c_requests.inc()
         version = self.registry.route(key)
         self._version_by_rid[rid] = version.version
         if self.cache_size > 0:
@@ -205,17 +250,18 @@ class ScoringEngine:
             hit = self._cache.get(cache_key)
             if hit is not None:
                 self._cache.move_to_end(cache_key)
-                self.stats["cache_hits"] += 1
+                self._c_cache_hits.inc()
                 version.cache_hits += 1
                 self._ready[rid] = hit
                 # deliberately NOT logged into ``latencies``: a cache
                 # replay costs nothing and would deflate the scored p95
                 return rid
-        self.stats["cache_misses"] += 1
+        self._c_cache_misses.inc()
         if self.clock is not None:
             self._submitted_at[rid] = self.clock.now()
         self._pending.setdefault(version.version, []).append((rid, row))
         self._n_pending += 1
+        self._g_queue.set(self._n_pending)
         if self._n_pending == 1 and self._deadlines is not None:
             self._deadlines.schedule_in(
                 _FLUSH_KEY, self.max_latency_ms / 1000.0, self._flush_on_deadline
@@ -240,45 +286,47 @@ class ScoringEngine:
         :meth:`has_result` / :meth:`take` only see batches that have
         already completed).
         """
-        if "flush_" + reason not in self.stats:
+        if reason not in self._c_flush_reason:
             raise ValueError(
                 f"reason must be 'manual', 'batch_full' or 'deadline', got {reason!r}"
             )
         dispatched = 0
         if self._n_pending:
-            self.stats["flushes"] += 1
-            self.stats["flush_" + reason] += 1
+            self._c_flushes.inc()
+            self._c_flush_reason[reason].inc()
         if self._deadlines is not None:
             self._deadlines.cancel(_FLUSH_KEY)
         # pop each batch before dispatching so a raising policy/model
         # leaves the engine consistent (the failed batch is dropped,
         # not re-run)
         try:
-            while self._pending:
-                version_id, batch = self._pending.popitem()
-                self._n_pending -= len(batch)
-                model = self.registry.get(version_id).model
-                rows = np.stack([row for _rid, row in batch])
-                future = self.backend.submit(_score_rows, self.policy, model, rows)
-                done_stamp: dict = {}
-                if self.clock is not None:
-                    clock = self.clock
+            with self.metrics.span("engine.flush", clock=self.clock):
+                while self._pending:
+                    version_id, batch = self._pending.popitem()
+                    self._n_pending -= len(batch)
+                    model = self.registry.get(version_id).model
+                    rows = np.stack([row for _rid, row in batch])
+                    future = self.backend.submit(_score_rows, self.policy, model, rows)
+                    done_stamp: dict = {}
+                    if self.clock is not None:
+                        clock = self.clock
 
-                    def _stamp(_f, _d=done_stamp, _c=clock):
-                        _d["at"] = _c.now()
+                        def _stamp(_f, _d=done_stamp, _c=clock):
+                            _d["at"] = _c.now()
 
-                    # serial futures are already done: fires inline now,
-                    # preserving the historical flush-time measurement
-                    future.add_done_callback(_stamp)  # type: ignore[attr-defined]
-                self._inflight.append((future, version_id, batch, done_stamp))
-                dispatched += rows.shape[0]
-                if future.done():  # type: ignore[attr-defined]
-                    # serial backend: score (or raise) per batch, exactly
-                    # the pre-runtime sequence — a failing batch stops the
-                    # flush with the remaining batches pending and unscored
-                    self._reap(wait=False)
-            self._reap(wait=False)
+                        # serial futures are already done: fires inline now,
+                        # preserving the historical flush-time measurement
+                        future.add_done_callback(_stamp)  # type: ignore[attr-defined]
+                    self._inflight.append((future, version_id, batch, done_stamp))
+                    dispatched += rows.shape[0]
+                    if future.done():  # type: ignore[attr-defined]
+                        # serial backend: score (or raise) per batch, exactly
+                        # the pre-runtime sequence — a failing batch stops the
+                        # flush with the remaining batches pending and unscored
+                        self._reap(wait=False)
+                self._reap(wait=False)
         finally:
+            self._g_queue.set(self._n_pending)
             if self._n_pending and self._deadlines is not None:
                 # a raising batch aborted the flush with other versions'
                 # requests still buffered — they are already overdue, so
@@ -314,8 +362,8 @@ class ScoringEngine:
                     self._submitted_at.pop(rid, None)
                     self._version_by_rid.pop(rid, None)
                 raise
-            self.stats["model_calls"] += 1
-            self.stats["rows_scored"] += len(batch)
+            self._c_model_calls.inc()
+            self._c_rows_scored.inc(len(batch))
             # the model really scored these rows — credit the version
             # (cache hits were credited separately at submit)
             self.registry.get(version_id).requests += len(batch)
@@ -334,6 +382,9 @@ class ScoringEngine:
                     self._remember((version_id, row.tobytes()), float(score))
 
     def _log_latency(self, seconds: float) -> None:
+        # the sketch sees everything (bounded memory, no eviction) —
+        # quantiles stay unbiased however long the engine lives
+        self.latency_hist.record(max(0.0, seconds))
         self.latencies.append(seconds)
         cap = self.latency_log_size
         if cap is not None and len(self.latencies) > 2 * cap:
@@ -341,6 +392,20 @@ class ScoringEngine:
             drop = len(self.latencies) - cap
             del self.latencies[:drop]
             self.latencies_dropped += drop
+
+    def latency_quantile(self, q: float) -> float:
+        """Submit→score latency quantile (clock seconds) over **every**
+        latency this engine ever recorded.
+
+        Reads :attr:`latency_hist`, so unlike ``np.quantile(engine.
+        latencies, q)`` the answer is not silently biased toward recent
+        traffic once the ``latency_log_size`` cap starts evicting; the
+        sketch's relative error is ~1%.  Raises :class:`ValueError`
+        when nothing was recorded (no clock, or cache-only traffic).
+        """
+        if self.latency_hist.count == 0:
+            raise ValueError("no latencies recorded — run with a clocked engine")
+        return self.latency_hist.quantile(q)
 
     def poll(self) -> int:
         """Advance the engine without submitting: fire any overdue
@@ -433,9 +498,9 @@ class ScoringEngine:
         # credited only after the call returns: a raising model scored
         # nothing, and ``requests`` counts what the model actually did
         version.requests += x.shape[0]
-        self.stats["requests"] += x.shape[0]
-        self.stats["model_calls"] += 1
-        self.stats["rows_scored"] += x.shape[0]
+        self._c_requests.inc(x.shape[0])
+        self._c_model_calls.inc()
+        self._c_rows_scored.inc(x.shape[0])
         return scores
 
     # ------------------------------------------------------------------
@@ -450,6 +515,17 @@ class ScoringEngine:
             self._cache.popitem(last=False)
 
     @property
+    def stats(self) -> dict[str, int]:
+        """Lifetime request/flush/cache counters, as a plain dict.
+
+        Rendered from the engine's :class:`~repro.obs.Counter`\\ s (the
+        same objects an attached registry exports), so the dict is a
+        fresh copy each access — mutate away, the counters are the
+        source of truth.
+        """
+        return {name: int(self._counters[name].value) for name in _STAT_NAMES}
+
+    @property
     def n_pending(self) -> int:
         """Requests buffered and not yet dispatched."""
         return self._n_pending
@@ -462,5 +538,6 @@ class ScoringEngine:
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of requests served from the LRU cache."""
-        total = self.stats["cache_hits"] + self.stats["cache_misses"]
-        return self.stats["cache_hits"] / total if total else 0.0
+        hits = self._c_cache_hits.value
+        total = hits + self._c_cache_misses.value
+        return hits / total if total else 0.0

@@ -39,6 +39,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.roi_star import binary_search_roi_star, bisect_monotone
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["BudgetPacer", "MultiDayPacer"]
 
@@ -85,6 +86,15 @@ class BudgetPacer:
     min_arm_outcomes:
         Treated *and* control outcomes required in the feedback window
         before the floor activates.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to record pacing health
+        into: counters ``pacer.offers`` / ``pacer.admits`` /
+        ``pacer.refreshes`` / ``pacer.lockouts`` (refreshes that found
+        spend ahead of the curve and locked admission out), gauges
+        ``pacer.threshold`` / ``pacer.roi_floor`` / ``pacer.spend``
+        and ``pacer.spend_vs_curve`` (signed distance of cumulative
+        spend from the curve target — the pacing-error signal worth
+        alerting on).  ``None`` (default) records nothing.
     """
 
     def __init__(
@@ -100,6 +110,7 @@ class BudgetPacer:
         curve_slack: float = 0.05,
         use_roi_floor: bool = True,
         min_arm_outcomes: int = 20,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not budget >= 0:  # rejects NaN too
             raise ValueError(f"budget must be >= 0, got {budget}")
@@ -134,6 +145,15 @@ class BudgetPacer:
         self._last_refresh = -(10**9)
         # (n_seen, spent, threshold) at each refresh — the pacing trace
         self.history: list[tuple[int, float, float]] = []
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_offers = self.metrics.counter("pacer.offers")
+        self._c_admits = self.metrics.counter("pacer.admits")
+        self._c_refreshes = self.metrics.counter("pacer.refreshes")
+        self._c_lockouts = self.metrics.counter("pacer.lockouts")
+        self._g_threshold = self.metrics.gauge("pacer.threshold")
+        self._g_roi_floor = self.metrics.gauge("pacer.roi_floor")
+        self._g_spend = self.metrics.gauge("pacer.spend")
+        self._g_spend_vs_curve = self.metrics.gauge("pacer.spend_vs_curve")
 
     # ------------------------------------------------------------------
     # the admission decision
@@ -145,6 +165,7 @@ class BudgetPacer:
         if cost <= 0:
             raise ValueError(f"cost must be > 0 (Assumption 4), got {cost}")
         self.n_seen += 1
+        self._c_offers.inc()
         self._traffic.append((score, cost))
         if (
             self.n_seen >= self.warmup
@@ -166,6 +187,8 @@ class BudgetPacer:
             return False
         self.n_admitted += 1
         self.spent += cost
+        self._c_admits.inc()
+        self._g_spend.set(self.spent)
         return True
 
     def observe_outcome(self, t: int, y_r: float, y_c: float) -> None:
@@ -182,6 +205,7 @@ class BudgetPacer:
     # ------------------------------------------------------------------
     def _refresh(self) -> None:
         self._last_refresh = self.n_seen
+        self._c_refreshes.inc()
         traffic = np.asarray(self._traffic, dtype=float)
         scores, costs = traffic[:, 0], traffic[:, 1]
 
@@ -198,6 +222,7 @@ class BudgetPacer:
             # above it would pierce the lockout and spend while the
             # pacer believes it is admitting nothing
             self.threshold_ = np.inf
+            self._c_lockouts.inc()
         else:
             lo = float(np.min(scores)) - 1e-9
             hi = float(np.max(scores)) + 1e-9
@@ -227,6 +252,12 @@ class BudgetPacer:
                     self.roi_floor_ = binary_search_roi_star(t, y_r, y_c)
                     self.threshold_ = max(self.threshold_, self.roi_floor_)
         self.history.append((self.n_seen, self.spent, self.threshold_))
+        self._g_threshold.set(self.threshold_)
+        self._g_roi_floor.set(self.roi_floor_)
+        # signed pacing error: + means spending ahead of the curve
+        self._g_spend_vs_curve.set(
+            self.spent - self.budget * float(self.target_curve(progress))
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -298,6 +329,11 @@ class MultiDayPacer:
     pacer_params:
         Extra keyword arguments for every day's :class:`BudgetPacer`
         (``window``, ``warmup``, ``target_curve``, ...).
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` shared by every day's
+        pacer (their counters accumulate across the campaign — a
+        per-day view is a snapshot delta), plus campaign-level
+        ``pacer.days_completed`` and ``pacer.carry``.
     """
 
     def __init__(
@@ -308,6 +344,7 @@ class MultiDayPacer:
         carryover: float = 1.0,
         carryover_mode: str = "spread",
         pacer_params: dict | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if daily_budget is not None and not daily_budget >= 0:
             raise ValueError(f"daily_budget must be >= 0, got {daily_budget}")
@@ -327,6 +364,9 @@ class MultiDayPacer:
         self.days: list[BudgetPacer] = []
         #: per-completed-day accounting: (base_budget, day_budget, spent, carry_out)
         self.ledger: list[tuple[float, float, float, float]] = []
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_days = self.metrics.counter("pacer.days_completed")
+        self._g_carry = self.metrics.gauge("pacer.carry")
 
     # ------------------------------------------------------------------
     # day lifecycle
@@ -359,6 +399,9 @@ class MultiDayPacer:
 
             params["target_curve"] = tilted
         self._base = base
+        # all days share one registry: campaign counters accumulate,
+        # per-day views are snapshot deltas
+        params.setdefault("metrics", None if self.metrics is NULL_REGISTRY else self.metrics)
         self.current = BudgetPacer(budget, n, **params)
         self.days.append(self.current)
         return self.current
@@ -374,6 +417,8 @@ class MultiDayPacer:
         )
         self.carry = carry_out
         self.current = None
+        self._c_days.inc()
+        self._g_carry.set(carry_out)
         return self.carry
 
     # ------------------------------------------------------------------

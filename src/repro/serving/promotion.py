@@ -59,6 +59,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.runtime import Clock, DeadlineLoop, SystemClock
 from repro.serving.registry import ModelRegistry
 from repro.utils.stats import MeanCI, welch_ci_from_moments
@@ -138,6 +139,15 @@ class AutoPromoter:
         When True (default), :meth:`poll` / :meth:`observe` open the
         ramp by themselves whenever the registry has a challenger
         staged and no experiment is running.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` recording the lifecycle:
+        one counter per event kind (``promoter.start`` /
+        ``promoter.ramp`` / ``promoter.promote`` / ``promoter.kill``
+        / ``promoter.rollback`` / ``promoter.confirm`` /
+        ``promoter.abort`` — ramp-stage transitions and gate verdicts),
+        counter ``promoter.observations``, and gauges
+        ``promoter.traffic_split`` / ``promoter.ramp_stage``.  ``None``
+        (default) records nothing; :attr:`events` is always kept.
     """
 
     def __init__(
@@ -153,6 +163,7 @@ class AutoPromoter:
         check_every: int = 100,
         hold_decided: int = 2_000,
         auto_start: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         ramp = tuple(float(f) for f in ramp)
         if not ramp:
@@ -201,6 +212,10 @@ class AutoPromoter:
         self._since_check = 0
         #: every lifecycle action, in order (the audit trail)
         self.events: list[PromotionEvent] = []
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_observations = self.metrics.counter("promoter.observations")
+        self._g_split = self.metrics.gauge("promoter.traffic_split")
+        self._g_stage = self.metrics.gauge("promoter.ramp_stage")
 
     # ------------------------------------------------------------------
     # introspection
@@ -230,6 +245,9 @@ class AutoPromoter:
                 ci=ci,
             )
         )
+        self.metrics.counter(f"promoter.{kind}").inc()
+        self._g_split.set(self.registry.traffic_split)
+        self._g_stage.set(self._ramp_idx)
 
     # ------------------------------------------------------------------
     # lifecycle drive
@@ -269,6 +287,7 @@ class AutoPromoter:
             # observation that opens the experiment is not discarded by
             # the reset one line later
             self.start()
+        self._c_observations.inc()
         self.registry.record_outcome(version, treated, y_r, y_c)
         if self._state == IDLE:
             return

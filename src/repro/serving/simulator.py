@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.ab.platform import Platform
 from repro.core.allocation import greedy_allocation
+from repro.obs import NULL_REGISTRY, HistogramSnapshot
 from repro.runtime import ManualClock
 from repro.serving.engine import ScoringEngine
 from repro.serving.pacing import BudgetPacer, MultiDayPacer
@@ -63,9 +64,16 @@ class ReplayResult:
     tightly the pacer tracked its target.  ``oracle_*`` fields hold the
     offline greedy solution on identical scores; ``revenue_ratio`` is
     online / oracle incremental revenue (1.0 = no price of streaming).
-    ``engine_stats`` and ``latencies`` cover *this replay only* (an
-    engine reused across days reports per-day deltas, not cumulative
-    counters).
+    ``engine_stats``, ``latencies``, ``latency_hist`` and
+    ``metrics_delta`` cover *this replay only* (an engine reused across
+    days reports per-day deltas, not cumulative counters).
+
+    ``latencies`` is the raw per-request log, which the engine caps at
+    ``latency_log_size`` entries: once eviction starts, the array holds
+    only the newest requests and ``latencies_dropped`` counts this
+    replay's evicted entries.  Quantiles therefore come from
+    ``latency_hist`` — the engine's log-bucket sketch delta, which saw
+    every request of the replay — whenever it is available.
     """
 
     n_events: int
@@ -83,6 +91,9 @@ class ReplayResult:
     engine_stats: dict = field(default_factory=dict)
     pacing_history: list = field(default_factory=list)
     latencies: np.ndarray | None = None
+    latencies_dropped: int = 0
+    latency_hist: HistogramSnapshot | None = None
+    metrics_delta: dict | None = None
 
     @property
     def revenue_ratio(self) -> float:
@@ -91,7 +102,14 @@ class ReplayResult:
 
     def latency_quantile(self, q: float) -> float:
         """Submit→score latency quantile in clock seconds (needs a
-        clocked engine; see :class:`~repro.serving.engine.ScoringEngine`)."""
+        clocked engine; see :class:`~repro.serving.engine.ScoringEngine`).
+
+        Served from :attr:`latency_hist` (~1% relative error, sees every
+        request) so the answer stays unbiased even when the engine's
+        ``latency_log_size`` cap evicted part of :attr:`latencies`.
+        """
+        if self.latency_hist is not None and self.latency_hist.count > 0:
+            return self.latency_hist.quantile(q)
         if self.latencies is None or self.latencies.size == 0:
             raise ValueError("no latencies recorded — run with a clocked engine")
         return float(np.quantile(self.latencies, q))
@@ -107,6 +125,7 @@ class ReplayResult:
             "oracle_revenue": round(self.oracle_revenue, 2),
             "revenue_ratio": round(self.revenue_ratio, 4),
             "events_per_second": round(self.events_per_second, 1),
+            "latencies_dropped": self.latencies_dropped,
         }
 
 
@@ -318,6 +337,9 @@ class TrafficReplay:
         # absolute index into the engine's (possibly size-capped) log
         latency_start = self.engine.latencies_dropped + len(self.engine.latencies)
         stats_before = dict(self.engine.stats)  # engines may serve many days
+        hist_before = self.engine.latency_hist.snapshot()
+        instrumented = self.engine.metrics is not NULL_REGISTRY
+        metrics_before = self.engine.metrics.snapshot() if instrumented else None
         waiting: deque[tuple[int, int]] = deque()  # (request_id, cohort index)
 
         def drain(force: bool = False) -> None:
@@ -392,6 +414,18 @@ class TrafficReplay:
             if self.engine.clock is not None
             else None
         )
+        # entries this replay recorded that the size cap already evicted
+        dropped = max(0, self.engine.latencies_dropped - latency_start)
+        latency_hist = (
+            self.engine.latency_hist.snapshot().delta(hist_before)
+            if self.engine.clock is not None
+            else None
+        )
+        metrics_delta = (
+            self.engine.metrics.snapshot().delta(metrics_before).to_dict()
+            if instrumented
+            else None
+        )
         return ReplayResult(
             n_events=cohort.n,
             n_treated=int(np.sum(treated)),
@@ -410,4 +444,7 @@ class TrafficReplay:
             },
             pacing_history=list(pacer.history),
             latencies=latencies,
+            latencies_dropped=dropped,
+            latency_hist=latency_hist,
+            metrics_delta=metrics_delta,
         )

@@ -17,6 +17,7 @@ SUBPACKAGES = (
     "repro.linear",
     "repro.metrics",
     "repro.nn",
+    "repro.obs",
     "repro.runtime",
     "repro.serving",
     "repro.trees",
@@ -26,7 +27,7 @@ SUBPACKAGES = (
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
