@@ -24,7 +24,7 @@ import time
 
 import numpy as np
 
-from _harness import print_header
+from _harness import print_header, record_result
 from repro.ab.platform import Platform
 from repro.runtime import ManualClock
 from repro.serving.engine import ScoringEngine
@@ -38,6 +38,10 @@ N_OBSERVE = 200_000
 SMOKE_N_USERS = 600
 SMOKE_N_DAYS = 2
 SMOKE_N_OBSERVE = 5_000
+
+#: metrics stashed by the first test, recorded to the BENCH_promotion.json
+#: trajectory by the last test in the file (one run per bench invocation)
+_TRAJECTORY: dict[str, dict] = {}
 
 
 class _ProbeROI:
@@ -135,6 +139,19 @@ def test_observe_throughput_and_replay_overhead(benchmark, smoke) -> None:
         assert out["observe_rate"] > 100_000
         assert out["overhead"] < 0.30
 
+    _TRAJECTORY.update(
+        {
+            "observe_rate": {"value": out["observe_rate"], "unit": "obs/s"},
+            # ungated context: on a sub-second replay day the ratio's
+            # noise floor straddles zero, so a relative band can't gate it
+            # (the hard assert above still enforces the < 30% bar on full)
+            "promoter_replay_overhead": {
+                "value": out["overhead"],
+                "direction": "lower",
+            },
+        }
+    )
+
 
 def test_time_to_verdict(benchmark, smoke) -> None:
     """Decided requests the gate needs to promote a dominant challenger
@@ -167,3 +184,31 @@ def test_time_to_verdict(benchmark, smoke) -> None:
     assert out["clone_promoted"] is False
     if not smoke:
         assert out["promoted"] is True
+
+    metrics = dict(_TRAJECTORY)
+    metrics.update(
+        {
+            # the two significance-gate contracts are deterministic
+            # (fixed seeds) and machine-portable: both gate
+            "clone_promoted": {
+                "value": float(out["clone_promoted"]),
+                "direction": "lower",
+                "gated": True,
+                "tolerance": 0.01,
+            },
+            "dominant_promoted": {
+                "value": float(out["promoted"]),
+                "direction": "higher",
+                "gated": not smoke,  # smoke days are too short to always verdict
+                "tolerance": 0.01,
+            },
+        }
+    )
+    if out["decided_at_verdict"] is not None:
+        metrics["decided_at_verdict"] = {
+            "value": float(out["decided_at_verdict"]),
+            "unit": "requests",
+            "direction": "lower",
+        }
+    record_result("promotion", metrics, smoke=smoke)
+    _TRAJECTORY.clear()

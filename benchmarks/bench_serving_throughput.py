@@ -20,13 +20,16 @@ Recorded to the ``BENCH_serving.json`` trajectory when
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from _harness import get_rdrp, get_setting, print_header, record_result
 from repro.obs import MetricsRegistry
+from repro.runtime import ProcessBackend
 from repro.serving.engine import ScoringEngine
+from repro.serving.sharding import ShardedScoringEngine
 
 BATCH_SIZES = (1, 32, 256)
 N_REQUESTS = 2048
@@ -165,6 +168,85 @@ def test_metrics_overhead(benchmark, smoke) -> None:
             },
             "rps_null_registry": {"value": best_null, "unit": "req/s"},
             "rps_live_registry": {"value": best_live, "unit": "req/s"},
+        },
+        smoke=smoke,
+    )
+
+
+def test_sharded_fleet_throughput(benchmark, smoke) -> None:
+    """1-shard vs 4-shard fleet on a ProcessBackend: the scale-out lever.
+
+    Both fleets pay the same transport tax (pickled dispatch batches on
+    a process pool's affinity lanes), so the ratio isolates what
+    sharding buys: four DRP forward passes running on four cores.  The
+    >= 2.5x bar is asserted only where it is physically possible
+    (>= 4 CPUs); everywhere else the speedup is still *recorded* as
+    ungated trajectory context, and the accounting contract — every
+    submitted request visible in the merged fleet stats — is asserted
+    unconditionally.
+    """
+    n_requests = SMOKE_N_REQUESTS if smoke else N_REQUESTS
+    n_shards = 4
+
+    def fleet_rps(n: int, backend) -> tuple[float, dict]:
+        model = get_rdrp("criteo", "SuNo").drp
+        rows = get_setting("criteo", "SuNo").test.x[:n_requests]
+        with ShardedScoringEngine(
+            model, n_shards=n, batch_size=256, cache_size=0, backend=backend
+        ) as fleet:
+            fleet.score_batch(rows[:8])  # warm the lanes / fork the workers
+            start = time.perf_counter()
+            for i, row in enumerate(rows):
+                fleet.submit(row, key=i)
+            fleet.flush()
+            elapsed = time.perf_counter() - start
+            return len(rows) / elapsed, fleet.stats
+
+    def run() -> dict:
+        backend = ProcessBackend(n_workers=n_shards)
+        try:
+            rps_1, stats_1 = fleet_rps(1, backend)
+            rps_n, stats_n = fleet_rps(n_shards, backend)
+        finally:
+            backend.shutdown()
+        return {
+            "rps_1": rps_1, "rps_n": rps_n,
+            "requests_1": stats_1["requests"], "requests_n": stats_n["requests"],
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = out["rps_n"] / out["rps_1"]
+    cpus = os.cpu_count() or 1
+
+    print_header(f"sharded fleet throughput — {n_requests} requests, ProcessBackend")
+    print(f"  1 shard:  {out['rps_1']:>12,.0f} req/s")
+    print(f"  {n_shards} shards: {out['rps_n']:>12,.0f} req/s")
+    print(f"  speedup:  {speedup:.2f}x on a {cpus}-CPU machine "
+          f"(target >= 2.5x on >= {n_shards} CPUs)")
+
+    # merged fleet accounting sees every request, at either shard count
+    assert out["requests_1"] == n_requests + 8
+    assert out["requests_n"] == n_requests + 8
+    if not smoke and cpus >= n_shards:
+        assert speedup >= 2.5
+
+    record_result(
+        "serving_sharded",
+        {
+            # absolute rates and the speedup are machine-bound: a 1-CPU
+            # runner records ~1x honestly, so none of them can gate
+            "sharded_speedup_4shard": {
+                "value": speedup, "unit": "x", "direction": "higher",
+            },
+            "rps_1shard": {"value": out["rps_1"], "unit": "req/s"},
+            "rps_4shard": {"value": out["rps_n"], "unit": "req/s"},
+            # ...but the accounting ratio is exact everywhere
+            "fleet_requests_accounted": {
+                "value": out["requests_n"] / (n_requests + 8),
+                "direction": "higher",
+                "gated": True,
+                "tolerance": 0.01,
+            },
         },
         smoke=smoke,
     )

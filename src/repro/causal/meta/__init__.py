@@ -1,7 +1,8 @@
 """Meta-learner uplift estimators (Künzel et al., 2019)."""
 
+from repro.causal.meta._factories import ForestFactory
 from repro.causal.meta.s_learner import SLearner
 from repro.causal.meta.t_learner import TLearner
 from repro.causal.meta.x_learner import XLearner
 
-__all__ = ["SLearner", "TLearner", "XLearner"]
+__all__ = ["ForestFactory", "SLearner", "TLearner", "XLearner"]

@@ -1,0 +1,52 @@
+"""Picklable default base-model factories for the meta-learners.
+
+The S/T/X learners historically defaulted ``base_factory`` to a lambda
+closing over ``self.random_state``.  A lambda cannot be pickled, which
+made every fitted meta-learner unshippable to a scoring-shard worker
+process even though the fitted forests inside it are plain arrays.
+:class:`ForestFactory` is the same default spelled as a module-level
+callable class: instances pickle by attribute, and calling one builds
+the identical forest the lambda did (including passing a shared
+``np.random.Generator`` through by reference, so successive calls — the
+T-learner's two arms, say — keep drawing from one stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.forest import RandomForestRegressor
+
+__all__ = ["ForestFactory"]
+
+
+class ForestFactory:
+    """Zero-argument callable returning a fresh default random forest.
+
+    Parameters mirror the historical inline default:
+    ``RandomForestRegressor(n_estimators=30, max_depth=8,
+    random_state=<the learner's random_state>)``.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 8,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        self.n_estimators = int(n_estimators)
+        self.max_depth = int(max_depth)
+        self.random_state = random_state
+
+    def __call__(self) -> RandomForestRegressor:
+        return RandomForestRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            random_state=self.random_state,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ForestFactory(n_estimators={self.n_estimators}, "
+            f"max_depth={self.max_depth}, random_state={self.random_state!r})"
+        )

@@ -7,7 +7,7 @@ from typing import Callable
 import numpy as np
 
 from repro.causal.base import UpliftModel, validate_uplift_inputs
-from repro.trees.forest import RandomForestRegressor
+from repro.causal.meta._factories import ForestFactory
 from repro.utils.validation import check_2d
 
 __all__ = ["SLearner"]
@@ -38,9 +38,7 @@ class SLearner(UpliftModel):
     ) -> None:
         self.random_state = random_state
         if base_factory is None:
-            base_factory = lambda: RandomForestRegressor(
-                n_estimators=30, max_depth=8, random_state=self.random_state
-            )
+            base_factory = ForestFactory(random_state=self.random_state)
         self.base_factory = base_factory
         self.model_ = None
         self._n_features: int | None = None

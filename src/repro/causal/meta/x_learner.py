@@ -7,8 +7,8 @@ from typing import Callable
 import numpy as np
 
 from repro.causal.base import UpliftModel, validate_uplift_inputs
+from repro.causal.meta._factories import ForestFactory
 from repro.causal.meta.t_learner import TLearner
-from repro.trees.forest import RandomForestRegressor
 from repro.utils.validation import check_2d
 
 __all__ = ["XLearner"]
@@ -41,9 +41,7 @@ class XLearner(UpliftModel):
     ) -> None:
         self.random_state = random_state
         if base_factory is None:
-            base_factory = lambda: RandomForestRegressor(
-                n_estimators=30, max_depth=8, random_state=self.random_state
-            )
+            base_factory = ForestFactory(random_state=self.random_state)
         self.base_factory = base_factory
         if propensity is not None and not 0.0 < propensity < 1.0:
             raise ValueError(f"propensity must be in (0, 1), got {propensity}")

@@ -23,12 +23,18 @@ from repro.utils.rng import as_generator
 
 __all__ = ["Layer", "Dense", "Dropout", "Activation"]
 
+def _identity_grad(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(np.asarray(x, dtype=float))
+
+
+# every entry must hold module-level callables: Activation layers pickle
+# by name (fitted networks ship to scoring-shard worker processes)
 _ACTIVATIONS = {
     "relu": (act.relu, act.relu_grad),
     "elu": (act.elu, act.elu_grad),
     "tanh": (act.tanh, act.tanh_grad),
     "sigmoid": (act.sigmoid, act.sigmoid_grad),
-    "linear": (act.identity, lambda x: np.ones_like(np.asarray(x, dtype=float))),
+    "linear": (act.identity, _identity_grad),
 }
 
 
@@ -175,3 +181,16 @@ class Activation(Layer):
         if self._x is None:
             raise RuntimeError("backward() called before a training-mode forward()")
         return grad_out * self._grad_fn(self._x)
+
+    def __getstate__(self) -> dict:
+        # the function pair is looked up from the name on load, and the
+        # training cache has no business crossing a process boundary
+        state = self.__dict__.copy()
+        state.pop("_fn", None)
+        state.pop("_grad_fn", None)
+        state["_x"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._fn, self._grad_fn = _ACTIVATIONS[self.name]

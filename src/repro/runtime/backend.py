@@ -33,6 +33,21 @@ and counts ``backend.tasks_submitted`` / ``backend.tasks_completed`` /
 counters are the shared no-op singletons and pool futures get no
 done-callbacks attached, so un-instrumented execution is byte-for-byte
 the historical path.
+
+Worker affinity (``submit_to``)
+-------------------------------
+Plain ``submit`` hands work to *any* idle worker, which is right for
+stateless fan-out but useless for a sharded serving fleet where shard
+``i``'s cache, pacer slice, and model registry must live in one
+long-lived process.  ``submit_to(lane, fn, *args)`` pins work to a
+numbered **lane**: a lazily created single-worker executor that
+processes its tasks FIFO, so state a task installs in its process (or
+thread) is still there for every later task on the same lane.  Lanes
+accept an optional ``initializer(lane_index, *initargs)`` run once per
+lane start — the hook a sharded engine uses to build its per-process
+shard before the first request lands.  ``submit`` and ``submit_to``
+coexist on one backend: the shared pool and the lanes are separate
+executors, and ``shutdown`` releases both.
 """
 
 from __future__ import annotations
@@ -95,9 +110,17 @@ class SerialBackend:
     propagation points — it had before the runtime layer existed.
     """
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
         self.start_count = 0  # no pool ever starts
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._initialized_lanes: set[int] = set()
         self._c_submitted = self.metrics.counter("backend.tasks_submitted")
         self._c_completed = self.metrics.counter("backend.tasks_completed")
 
@@ -115,8 +138,27 @@ class SerialBackend:
         self._c_completed.inc()  # inline execution: done by the time we return
         return future
 
+    def submit_to(
+        self, lane: int, fn: Callable[..., Any], /, *args: Any, **kwargs: Any
+    ) -> Future:
+        """Lane-pinned submit; inline, every lane is this thread.
+
+        Lanes are purely logical here (any non-negative index), but the
+        per-lane initializer contract still holds: ``initializer(lane,
+        *initargs)`` runs once before the lane's first task, so code
+        written against lane affinity behaves identically on the serial
+        backend — same process, same FIFO order, same init hook.
+        """
+        if lane < 0:
+            raise ValueError(f"lane must be >= 0, got {lane}")
+        if self._initializer is not None and lane not in self._initialized_lanes:
+            self._initialized_lanes.add(lane)
+            self._initializer(lane, *self._initargs)
+        return self.submit(fn, *args, **kwargs)
+
     def shutdown(self, wait: bool = True) -> None:
-        """Nothing to release; kept for interface symmetry."""
+        """Nothing to release; lanes re-initialize on next use."""
+        self._initialized_lanes.clear()
 
     def __enter__(self) -> "SerialBackend":
         return self
@@ -132,17 +174,29 @@ class _PoolBackend:
     """Shared machinery of the thread/process backends: a lazily
     created, reusable ``concurrent.futures`` pool."""
 
-    def __init__(self, n_workers: int | None = None, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
         self._n_workers = resolve_n_workers(n_workers)
         self._pool: Executor | None = None
+        self._lanes: dict[int, Executor] = {}
         self.start_count = 0
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._instrumented = metrics is not None
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
         self._c_submitted = self.metrics.counter("backend.tasks_submitted")
         self._c_completed = self.metrics.counter("backend.tasks_completed")
         self._c_pool_starts = self.metrics.counter("backend.pool_starts")
 
     def _make_pool(self) -> Executor:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _make_lane(self, lane: int) -> Executor:  # pragma: no cover - overridden
         raise NotImplementedError
 
     @property
@@ -151,8 +205,8 @@ class _PoolBackend:
 
     @property
     def running(self) -> bool:
-        """True while a worker pool is alive."""
-        return self._pool is not None
+        """True while a worker pool (shared or lane) is alive."""
+        return self._pool is not None or bool(self._lanes)
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         if self._pool is None:
@@ -165,11 +219,41 @@ class _PoolBackend:
             future.add_done_callback(lambda _f: self._c_completed.inc())
         return future
 
+    def submit_to(
+        self, lane: int, fn: Callable[..., Any], /, *args: Any, **kwargs: Any
+    ) -> Future:
+        """Pin work to lane ``lane``: one long-lived single worker.
+
+        The lane executor starts lazily on its first task (counted in
+        ``start_count`` / ``backend.pool_starts`` like any pool start)
+        and runs ``initializer(lane, *initargs)`` in its worker first,
+        so per-lane state — a scoring shard, a warmed cache — exists
+        before the task does.  Tasks on one lane execute FIFO; distinct
+        lanes run concurrently.
+        """
+        if not 0 <= lane < self._n_workers:
+            raise ValueError(
+                f"lane must be in [0, {self._n_workers}), got {lane}"
+            )
+        pool = self._lanes.get(lane)
+        if pool is None:
+            pool = self._lanes[lane] = self._make_lane(lane)
+            self.start_count += 1
+            self._c_pool_starts.inc()
+        self._c_submitted.inc()
+        future = pool.submit(fn, *args, **kwargs)
+        if self._instrumented:
+            future.add_done_callback(lambda _f: self._c_completed.inc())
+        return future
+
     def shutdown(self, wait: bool = True) -> None:
         """Release the workers; the next ``submit`` starts a fresh pool."""
         if self._pool is not None:
             self._pool.shutdown(wait=wait, cancel_futures=True)
             self._pool = None
+        for pool in self._lanes.values():
+            pool.shutdown(wait=wait, cancel_futures=True)
+        self._lanes.clear()
 
     def __enter__(self) -> "_PoolBackend":
         return self
@@ -193,6 +277,13 @@ class ThreadBackend(_PoolBackend):
     def _make_pool(self) -> Executor:
         return ThreadPoolExecutor(max_workers=self._n_workers)
 
+    def _make_lane(self, lane: int) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=1,
+            initializer=self._initializer,
+            initargs=(lane, *self._initargs) if self._initializer else (),
+        )
+
 
 class ProcessBackend(_PoolBackend):
     """A reusable ``ProcessPoolExecutor`` behind the backend interface.
@@ -206,3 +297,10 @@ class ProcessBackend(_PoolBackend):
 
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self._n_workers)
+
+    def _make_lane(self, lane: int) -> Executor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=self._initializer,
+            initargs=(lane, *self._initargs) if self._initializer else (),
+        )

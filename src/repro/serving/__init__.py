@@ -14,6 +14,11 @@ has to survive until midnight.  This package is that online half:
   gate over the per-version ledgers, auto-promote / kill / rollback;
 * :class:`ScoringEngine` — micro-batching request scorer (one
   vectorised model call per flush) with an LRU score cache;
+* :class:`ShardedScoringEngine` / :class:`ShardedBudgetPacer` — the
+  same engine and pacer surfaces over N per-process shards on an
+  execution backend's affinity lanes, with budget-slice rebalancing
+  and snapshot-merge fleet accounting (see
+  :mod:`repro.serving.sharding` and ``docs/SERVING.md``);
 * :class:`BudgetPacer` — streaming C-BTAP admission via an adaptive
   score threshold fit on a sliding traffic window with the Algorithm-2
   bisection primitive, tracking a target pacing curve and optionally
@@ -43,11 +48,12 @@ Quickstart
 >>> result.revenue_ratio  # online vs offline-oracle revenue  # doctest: +SKIP
 """
 
-from repro.serving.engine import ScoringEngine
+from repro.serving.engine import EngineCore, ScoringEngine
 from repro.serving.pacing import BudgetPacer, MultiDayPacer
 from repro.serving.policy import ConformalGatedPolicy, DecisionPolicy, GreedyROIPolicy
 from repro.serving.promotion import AutoPromoter, PromotionEvent
 from repro.serving.registry import ModelRegistry, ModelVersion, OutcomeLedger
+from repro.serving.sharding import ShardedBudgetPacer, ShardedScoringEngine
 from repro.serving.simulator import MultiDayReplayResult, ReplayResult, TrafficReplay
 
 __all__ = [
@@ -55,6 +61,7 @@ __all__ = [
     "BudgetPacer",
     "ConformalGatedPolicy",
     "DecisionPolicy",
+    "EngineCore",
     "GreedyROIPolicy",
     "ModelRegistry",
     "ModelVersion",
@@ -64,5 +71,7 @@ __all__ = [
     "PromotionEvent",
     "ReplayResult",
     "ScoringEngine",
+    "ShardedBudgetPacer",
+    "ShardedScoringEngine",
     "TrafficReplay",
 ]

@@ -53,6 +53,7 @@ the right :class:`~repro.serving.registry.OutcomeLedger`.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -61,7 +62,7 @@ from repro.runtime import Clock, DeadlineLoop, ExecutionBackend, SerialBackend, 
 from repro.serving.policy import DecisionPolicy, GreedyROIPolicy
 from repro.serving.registry import ModelRegistry
 
-__all__ = ["ScoringEngine"]
+__all__ = ["EngineCore", "ScoringEngine"]
 
 _FLUSH_KEY = "flush"  # the engine's single deadline-loop slot
 
@@ -83,6 +84,49 @@ _STAT_NAMES = (
 def _score_rows(policy: DecisionPolicy, model: object, rows: np.ndarray) -> np.ndarray:
     """The unit of backend work: one vectorised policy call."""
     return policy.score_batch(model, rows)
+
+
+@dataclass
+class EngineCore:
+    """The picklable half of a scoring engine: state, not plumbing.
+
+    Everything a fresh process needs to rebuild this engine's hot path
+    — the registry (models and lifecycle pointers included), the
+    decision policy, and the micro-batch/cache geometry — with none of
+    the process-bound machinery (clock, backend, metrics registry with
+    its locks, live buffers).  ``pickle(engine.core())`` is how
+    :class:`~repro.serving.sharding.ShardedScoringEngine` ships a shard
+    to a worker; :meth:`build` reconstitutes an engine around the core
+    on the other side.  Models must round-trip through pickle with
+    bit-identical predictions (pinned in ``tests/test_pickling.py``).
+    """
+
+    registry: ModelRegistry
+    policy: DecisionPolicy
+    batch_size: int
+    cache_size: int
+    latency_log_size: int | None
+
+    def build(
+        self,
+        *,
+        max_latency_ms: float | None = None,
+        clock: Clock | None = None,
+        backend: ExecutionBackend | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "ScoringEngine":
+        """Reconstitute a live engine around this core."""
+        return ScoringEngine(
+            self.registry,
+            policy=self.policy,
+            batch_size=self.batch_size,
+            cache_size=self.cache_size,
+            max_latency_ms=max_latency_ms,
+            clock=clock,
+            backend=backend,
+            latency_log_size=self.latency_log_size,
+            metrics=metrics,
+        )
 
 
 class ScoringEngine:
@@ -472,6 +516,36 @@ class ScoringEngine:
         score = self._ready.pop(request_id)
         self._version_by_rid.pop(request_id, None)
         return score
+
+    def drain(self) -> list[tuple[int, int, float]]:
+        """Pop every finished result as ``(request_id, version_id, score)``.
+
+        Advances the engine first (deadline flushes, finished async
+        batches), then empties the ready set in request-id order.  The
+        bulk companion to :meth:`take` for callers that track requests
+        themselves — a sharded routing layer reaps a whole dispatch in
+        one call instead of probing ids one by one.
+        """
+        self.poll()
+        out = []
+        for rid in sorted(self._ready):
+            score = self._ready.pop(rid)
+            out.append((rid, self._version_by_rid.pop(rid, -1), score))
+        return out
+
+    def core(self) -> EngineCore:
+        """This engine's picklable per-shard core (see :class:`EngineCore`).
+
+        The core *shares* the live registry and policy objects — it is
+        a view, not a copy; pickling it is what snapshots the state.
+        """
+        return EngineCore(
+            registry=self.registry,
+            policy=self.policy,
+            batch_size=self.batch_size,
+            cache_size=self.cache_size,
+            latency_log_size=self.latency_log_size,
+        )
 
     def score(self, x_row: np.ndarray, key: str | int | None = None) -> float:
         """Synchronous convenience path: submit, force a flush, return."""

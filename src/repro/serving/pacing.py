@@ -200,6 +200,22 @@ class BudgetPacer:
         """
         self._outcomes.append((int(t), float(y_r), float(y_c)))
 
+    def rebudget(self, budget: float) -> None:
+        """Reset the budget mid-stream (fleet slice rebalancing).
+
+        The new budget must cover what is already spent — a pacer can
+        be given more or less headroom, but never retroactively put
+        over budget (that would break the spend invariant without any
+        admission having caused it).  Thresholds pick the change up at
+        the next refresh; the admission cap uses it immediately.
+        """
+        budget = float(budget)
+        if not budget >= self.spent:
+            raise ValueError(
+                f"new budget {budget} is below already-realised spend {self.spent}"
+            )
+        self.budget = budget
+
     # ------------------------------------------------------------------
     # threshold adaptation
     # ------------------------------------------------------------------

@@ -169,6 +169,13 @@ class ModelRegistry:
         traffic_split: float = 0.1,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
+        #: lifecycle revision: bumped by every mutation a routing
+        #: replica must see (register/promote/demote/rollback and
+        #: ``traffic_split`` changes).  A sharded engine compares this
+        #: against the revision it last shipped to its shards and
+        #: re-syncs when they diverge; per-request accounting
+        #: (``record_outcome``, counters) deliberately does not bump it.
+        self.revision = 0
         self._versions: dict[int, ModelVersion] = {}
         self._next_version = 1
         self._champion: int | None = None
@@ -189,6 +196,7 @@ class ModelRegistry:
         if not 0.0 <= value <= 1.0:
             raise ValueError(f"traffic_split must be in [0, 1], got {value}")
         self._traffic_split = float(value)
+        self.revision += 1
 
     def register(
         self, model: object, name: str | None = None, promote: bool = False
@@ -234,6 +242,7 @@ class ModelRegistry:
             if self._challenger is not None:
                 self._archive(self._challenger)
             self._challenger = version
+        self.revision += 1
         return version
 
     def promote(self, version: int | None = None) -> int:
@@ -261,6 +270,7 @@ class ModelRegistry:
             self._challenger = None
         else:
             self._unstage_challenger()
+        self.revision += 1
         return version
 
     def demote(self, version: int | None = None) -> int:
@@ -277,6 +287,7 @@ class ModelRegistry:
             raise ValueError("no such challenger staged to demote")
         self._archive(version)
         self._challenger = None
+        self.revision += 1
         return version
 
     def rollback(self) -> int:
@@ -294,7 +305,64 @@ class ModelRegistry:
         if bad is not None:
             self._archive(bad)
         self._unstage_challenger()
+        self.revision += 1
         return restored
+
+    # ------------------------------------------------------------------
+    # replica sync (sharded serving)
+    # ------------------------------------------------------------------
+    def lifecycle_state(self, known: set[int] | frozenset[int] = frozenset()) -> dict:
+        """Portable snapshot of the routing-relevant lifecycle state.
+
+        Everything a routing replica needs to serve exactly like this
+        registry: stages, active pointers, split, and — for versions the
+        replica has not seen yet (``known``) — the model objects
+        themselves.  Per-version counters and ledgers are deliberately
+        excluded: replicas account locally and the fleet folds their
+        snapshots, so shipping parent counters would double-count.
+        """
+        return {
+            "revision": self.revision,
+            "next_version": self._next_version,
+            "champion": self._champion,
+            "challenger": self._challenger,
+            "previous_champion": self._previous_champion,
+            "traffic_split": self._traffic_split,
+            "stages": {v: mv.stage for v, mv in self._versions.items()},
+            "names": {v: mv.name for v, mv in self._versions.items()},
+            "models": {
+                v: mv.model for v, mv in self._versions.items() if v not in known
+            },
+        }
+
+    def apply_lifecycle_state(self, state: dict) -> None:
+        """Adopt a :meth:`lifecycle_state` snapshot (replica side).
+
+        Versions unknown locally are created from the shipped models;
+        known versions only have their stage updated, keeping the
+        replica's local request counters and ledgers intact.
+        """
+        for vid in sorted(state["stages"]):
+            if vid in self._versions:
+                self._versions[vid].stage = state["stages"][vid]
+            else:
+                if vid not in state["models"]:
+                    raise KeyError(
+                        f"lifecycle state references unknown version {vid} "
+                        "and ships no model for it"
+                    )
+                self._versions[vid] = ModelVersion(
+                    version=vid,
+                    name=state["names"][vid],
+                    model=state["models"][vid],
+                    stage=state["stages"][vid],
+                )
+        self._next_version = state["next_version"]
+        self._champion = state["champion"]
+        self._challenger = state["challenger"]
+        self._previous_champion = state["previous_champion"]
+        self._traffic_split = float(state["traffic_split"])
+        self.revision = state["revision"]
 
     def _archive(self, version: int) -> None:
         self._versions[version].stage = ARCHIVED
