@@ -46,6 +46,7 @@ from _harness import print_header, record_result
 from repro.ab.experiment import RANDOM_ARM, ABTest
 from repro.ab.platform import Platform
 from repro.ab.replay import PolicyReplay
+from repro.runtime import ProcessBackend
 
 N_DAY = 100_000
 N_MILLION = 1_000_000
@@ -249,18 +250,19 @@ def test_parallel_cohort_generation(benchmark, smoke) -> None:
     t_serial = _time(
         lambda: serial.daily_cohort(n_users, day=1), SMOKE_REPEATS if smoke else 3
     )
-    t_parallel = benchmark.pedantic(
-        lambda: _time(
-            lambda: pooled.daily_cohort(n_users, day=1, parallel=True, n_workers=n_workers),
-            SMOKE_REPEATS if smoke else 3,
-        ),
-        rounds=1,
-        iterations=1,
-    )
-    speedup = t_serial / t_parallel
+    with ProcessBackend(n_workers) as backend:
+        t_parallel = benchmark.pedantic(
+            lambda: _time(
+                lambda: pooled.daily_cohort(n_users, day=1, backend=backend),
+                SMOKE_REPEATS if smoke else 3,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        speedup = t_serial / t_parallel
 
-    cohort_serial = serial.daily_cohort(n_users, day=1)
-    cohort_parallel = pooled.daily_cohort(n_users, day=1, parallel=True, n_workers=n_workers)
+        cohort_serial = serial.daily_cohort(n_users, day=1)
+        cohort_parallel = pooled.daily_cohort(n_users, day=1, backend=backend)
     assert np.array_equal(cohort_serial.x, cohort_parallel.x)
     assert np.array_equal(cohort_serial.tau_c, cohort_parallel.tau_c)
 

@@ -46,14 +46,21 @@ def main() -> None:
     }
 
     print(f"== Replaying {args.days} days x {args.cohort} users through 3 policy sets ==")
+    # one shared pool serves every day's cohort generation (the legacy
+    # parallel=True kwarg is deprecated in favour of backend=)
+    backend = repro.ProcessBackend() if args.parallel else None
     replay = repro.PolicyReplay(
         repro.Platform(dataset="criteo", random_state=args.seed),
         policy_sets,
         budget_fraction=0.3,
         random_state=args.seed,
-        parallel=args.parallel,
+        backend=backend,
     )
-    result = replay.run(n_days=args.days, cohort_size=args.cohort)
+    try:
+        result = replay.run(n_days=args.days, cohort_size=args.cohort)
+    finally:
+        if backend is not None:
+            backend.shutdown()
 
     print("\nper-day uplift vs the shared random control (%):")
     for name in result.set_names:

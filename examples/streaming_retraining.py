@@ -1,0 +1,153 @@
+"""Streaming retraining demo: the serving stack repairing itself.
+
+Day 2 of this campaign injects concept drift
+(:class:`~repro.ab.platform.Platform` with ``drift_day=2``): the same
+users respond differently, so the champion fitted on day-1 behaviour
+now ranks the wrong users.  Two runs stream the identical CRN-paired
+traffic:
+
+1. **frozen** — the champion serves unchanged for the whole campaign;
+2. **closed loop** — a :class:`~repro.serving.Retrainer` drains every
+   decided request's realised outcome into a rolling window, refits a
+   :meth:`~repro.causal.base.TrainableModel.clone_unfit` of the
+   champion every ``--refit-every`` outcomes, and stages the refit as
+   a challenger.  The ordinary :class:`~repro.serving.AutoPromoter`
+   gate ramps it and promotes it only if it beats the incumbent with
+   significance — no manual ``registry.register`` calls after launch.
+
+Because outcome draws are CRN-paired (``paired_outcomes=True``), the
+revenue difference between the runs is the causal effect of closing
+the loop.
+
+Run:
+    python examples/streaming_retraining.py [--days 6] [--users 1500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro
+from repro.causal.base import TrainableModel
+from repro.linear import RidgeRegression
+from repro.runtime import ManualClock
+from repro.serving import AutoPromoter, Retrainer
+
+
+class TreatedNetRidge(TrainableModel):
+    """Ridge on treated rows' realised net — refittable from the stream."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self._ridge = None
+
+    def fit(self, x, y, t):
+        mask = np.asarray(t) == 1
+        self._ridge = RidgeRegression(alpha=self.alpha).fit(
+            np.asarray(x)[mask], np.asarray(y)[mask]
+        )
+        return self
+
+    def predict_roi(self, x):
+        return self._ridge.predict(x)
+
+
+def fit_champion(seed: int) -> TreatedNetRidge:
+    """Fit on a pre-drift probe RCT (what launch-day training data sees)."""
+    probe = repro.criteo_uplift_v2(3000, random_state=seed + 100)
+    rng = np.random.default_rng(seed + 7)
+    t = rng.integers(0, 2, probe.n)
+    u = rng.random((probe.n, 2))
+    y_r = (u[:, 0] < probe.tau_r) * t
+    y_c = (u[:, 1] < probe.tau_c) * t
+    return TreatedNetRidge(alpha=1.0).fit(probe.x, y_r - y_c, t)
+
+
+def run_campaign(args: argparse.Namespace, retrain: bool):
+    platform = repro.Platform(
+        dataset="criteo",
+        random_state=args.seed,
+        drift_day=2,
+        drift_strength=3.0,
+        day_effect=0.0,
+    )
+    clock = ManualClock()
+    registry = repro.ModelRegistry(random_state=args.seed)
+    registry.register(fit_champion(args.seed), name="champion", promote=True)
+    engine = repro.ScoringEngine(
+        registry, batch_size=32, max_latency_ms=50.0, clock=clock
+    )
+    promoter = AutoPromoter(
+        registry,
+        clock=clock,
+        ramp=(0.2, 0.6),
+        step_every_s=300.0,
+        min_decided=80,
+        check_every=25,
+        hold_decided=80,
+    )
+    retrainer = (
+        Retrainer(
+            registry,
+            clock=clock,
+            window=args.refit_every,
+            min_outcomes=min(500, args.refit_every),
+            every_outcomes=args.refit_every,
+        )
+        if retrain
+        else None
+    )
+    replay = repro.TrafficReplay(
+        platform,
+        engine,
+        feedback=False,
+        interarrival_s=1.0,
+        promoter=promoter,
+        retrainer=retrainer,
+        paired_outcomes=True,
+        random_state=args.seed + 1,
+    )
+    result = replay.replay_days(
+        n_days=args.days, n_users=args.users, budget_fraction=args.budget
+    )
+    return result, promoter, retrainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--days", type=int, default=6)
+    parser.add_argument("--users", type=int, default=1500)
+    parser.add_argument("--budget", type=float, default=0.3)
+    parser.add_argument("--refit-every", type=int, default=1500)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    frozen, _, _ = run_campaign(args, retrain=False)
+    looped, promoter, retrainer = run_campaign(args, retrain=True)
+
+    print(f"{'day':>4} {'frozen rev':>12} {'closed loop':>12} {'delta':>9}")
+    for i, (f, g) in enumerate(zip(frozen.days, looped.days), start=1):
+        marker = "  << drift" if i == 2 else ""
+        print(
+            f"{i:>4} {f.incremental_revenue:>12.1f} "
+            f"{g.incremental_revenue:>12.1f} "
+            f"{g.incremental_revenue - f.incremental_revenue:>+9.1f}{marker}"
+        )
+    total_f = sum(d.incremental_revenue for d in frozen.days)
+    total_g = sum(d.incremental_revenue for d in looped.days)
+    print(f"{'sum':>4} {total_f:>12.1f} {total_g:>12.1f} {total_g - total_f:>+9.1f}")
+
+    print(f"\nrefits: {retrainer.n_refits}  staged: {retrainer.n_staged}")
+    print("retrainer events:")
+    for e in retrainer.events:
+        extra = f" -> v{e.version}" if e.version is not None else ""
+        print(f"  t={e.at:>9.0f}s {e.kind:<8} {e.reason}{extra}")
+    print("promoter events:")
+    for e in promoter.events:
+        print(f"  t={e.at:>9.0f}s {e.kind:<8} v{e.version}")
+
+
+if __name__ == "__main__":
+    main()

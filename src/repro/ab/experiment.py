@@ -22,6 +22,8 @@ the strict budget boundary (``spend <= budget`` always).
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -258,6 +260,13 @@ class ABTest:
         self.platform = platform
         self.policies = dict(policies)
         self.budget_fraction = check_budget_fraction(budget_fraction)
+        if parallel is not None or n_workers is not None:
+            warnings.warn(
+                "ABTest(parallel=..., n_workers=...) is deprecated; pass a shared "
+                "backend= (e.g. repro.runtime.ProcessBackend) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.parallel = None if parallel is None else bool(parallel)
         self.n_workers = n_workers
         self.backend = backend

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.allocation import spend_down_prefix
 from repro.data.rct import RCTDataset
 from repro.data.settings import iter_dataset_chunks, load_dataset
-from repro.data.shift import exponential_tilt_shift
+from repro.data.shift import concept_drift, exponential_tilt_shift
 from repro.runtime import ExecutionBackend, resolve_n_workers
 from repro.utils.rng import as_generator
 
@@ -56,6 +58,14 @@ class Platform:
     day_effect:
         Amplitude of a deterministic day-of-week multiplier applied to
         the effect sizes (adds the day-to-day wobble visible in Fig. 6).
+    drift_day, drift_strength:
+        Inject concept drift: from day ``drift_day`` (1-based) onward,
+        every cohort passes through
+        :func:`~repro.data.shift.concept_drift` at ``drift_strength``
+        — ``Y | X`` changes, so models fitted on pre-drift days rank
+        post-drift traffic wrongly.  The transform is deterministic
+        per row, preserving CRN pairing across seeds.  ``None``
+        (default) disables drift.
     base_revenue_rate:
         Baseline (untreated) revenue probability per user — the
         denominator traffic every arm shares.
@@ -90,6 +100,8 @@ class Platform:
         shifted: bool = False,
         shift_strength: float = 1.2,
         day_effect: float = 0.1,
+        drift_day: int | None = None,
+        drift_strength: float = 1.0,
         base_revenue_rate: float = 0.25,
         chunk_size: int = 200_000,
         parallel: bool = False,
@@ -99,14 +111,27 @@ class Platform:
     ) -> None:
         if not 0.0 <= day_effect < 1.0:
             raise ValueError(f"day_effect must be in [0, 1), got {day_effect}")
+        if drift_day is not None and drift_day < 1:
+            raise ValueError(f"drift_day must be >= 1, got {drift_day}")
+        if drift_strength < 0:
+            raise ValueError(f"drift_strength must be >= 0, got {drift_strength}")
         if not 0.0 < base_revenue_rate < 1.0:
             raise ValueError(f"base_revenue_rate must be in (0, 1), got {base_revenue_rate}")
         if chunk_size < 50:
             raise ValueError(f"chunk_size must be >= 50, got {chunk_size}")
+        if parallel or n_workers is not None:
+            warnings.warn(
+                "Platform(parallel=..., n_workers=...) is deprecated; pass a shared "
+                "backend= (e.g. repro.runtime.ProcessBackend) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.dataset = dataset
         self.shifted = bool(shifted)
         self.shift_strength = float(shift_strength)
         self.day_effect = float(day_effect)
+        self.drift_day = None if drift_day is None else int(drift_day)
+        self.drift_strength = float(drift_strength)
         self.base_revenue_rate = float(base_revenue_rate)
         self.chunk_size = int(chunk_size)
         self.parallel = bool(parallel)
@@ -158,6 +183,8 @@ class Platform:
         multiplier = 1.0 + self.day_effect * np.sin(2.0 * np.pi * day / 7.0)
         cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
         cohort.tau_c = np.clip(cohort.tau_c * multiplier, 1e-6, None)
+        if self.drift_day is not None and day >= self.drift_day:
+            cohort = concept_drift(cohort, strength=self.drift_strength)
         return cohort
 
     def _draw_cohort_oneshot(self, n: int) -> RCTDataset:

@@ -44,6 +44,8 @@ Example — three policies on identical traffic::
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -194,6 +196,13 @@ class PolicyReplay:
         self.platform = platform
         self.policy_sets = {name: dict(policies) for name, policies in policy_sets.items()}
         self.budget_fraction = check_budget_fraction(budget_fraction)
+        if parallel is not None or n_workers is not None:
+            warnings.warn(
+                "PolicyReplay(parallel=..., n_workers=...) is deprecated; pass a shared "
+                "backend= (e.g. repro.runtime.ProcessBackend) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.parallel = None if parallel is None else bool(parallel)
         self.n_workers = n_workers
         self.backend = backend

@@ -7,7 +7,7 @@ TARNet, OffsetNet, SNet — all implemented here from scratch on top of
 :mod:`repro.nn`, :mod:`repro.trees` and :mod:`repro.linear`.
 """
 
-from repro.causal.base import UpliftModel
+from repro.causal.base import TrainableModel, UpliftModel, refit_model
 from repro.causal.forest_uplift import CausalForestUplift
 from repro.causal.meta.s_learner import SLearner
 from repro.causal.meta.t_learner import TLearner
@@ -27,7 +27,9 @@ __all__ = [
     "TARNet",
     "TLearner",
     "TwoPhaseMethod",
+    "TrainableModel",
     "UpliftModel",
+    "refit_model",
     "XLearner",
     "make_tpm",
 ]

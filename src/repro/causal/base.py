@@ -1,12 +1,14 @@
-"""Common interface for uplift (CATE) models."""
+"""Common interfaces for trainable and uplift (CATE) models."""
 
 from __future__ import annotations
+
+import inspect
 
 import numpy as np
 
 from repro.utils.validation import check_1d, check_2d, check_binary, check_consistent_length
 
-__all__ = ["UpliftModel", "validate_uplift_inputs"]
+__all__ = ["TrainableModel", "UpliftModel", "refit_model", "validate_uplift_inputs"]
 
 
 def validate_uplift_inputs(x, y, t) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -20,7 +22,118 @@ def validate_uplift_inputs(x, y, t) -> tuple[np.ndarray, np.ndarray, np.ndarray]
     return x, y, t
 
 
-class UpliftModel:
+class TrainableModel:
+    """The uniform train/retrain surface every model in the zoo shares.
+
+    The model zoo grew three fit-signature families — supervised
+    ``fit(x, y)``, uplift ``fit(x, y, t)``, and ROI ``fit(x, t, y_r,
+    y_c)`` / ``fit(x, y_revenue, y_cost, t)`` — which is fine for a
+    notebook but fatal for a generic retrainer: nothing could build a
+    *fresh, unfitted* copy of a serving champion and drive its refit
+    without hard-coding every class.  ``TrainableModel`` closes that
+    gap with two guarantees:
+
+    * :meth:`clone_unfit` — a new, unfitted instance carrying exactly
+      this model's constructor hyperparameters (fitted state is *not*
+      copied, so the clone learns only from the data it is refit on);
+    * :func:`refit_model` — a module-level dispatcher that feeds the
+      realised ``(x, t, y_r, y_c)`` outcome stream to any family's
+      native ``fit``.
+
+    The default :meth:`clone_unfit` is introspective: every constructor
+    parameter must be readable back from a same-named instance
+    attribute (the convention the whole zoo already follows).  Classes
+    that aggregate their parameters into sub-objects override
+    :meth:`_init_params` instead.
+
+    A uniform uplift-prediction entry point rides along:
+    :meth:`uplift_scores` resolves, in order, ``predict_roi`` →
+    ``predict_uplift`` → ``predict``, so rankers and dashboards can
+    score any zoo member without knowing its family.
+    """
+
+    def _init_params(self) -> dict:
+        """Constructor kwargs reconstructing an equivalent unfitted model.
+
+        Read introspectively from same-named instance attributes; a
+        constructor parameter with no matching attribute raises rather
+        than silently dropping a hyperparameter from the clone.
+        """
+        params: dict = {}
+        sig = inspect.signature(type(self).__init__)
+        for name, param in sig.parameters.items():
+            if name == "self" or param.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            if not hasattr(self, name):
+                raise AttributeError(
+                    f"{type(self).__name__} stores no attribute {name!r} for its "
+                    f"constructor parameter — override _init_params() to clone it"
+                )
+            params[name] = getattr(self, name)
+        return params
+
+    def clone_unfit(self) -> "TrainableModel":
+        """A fresh, unfitted instance with this model's hyperparameters.
+
+        Shared-by-reference hyperparameters (a ``base_factory``, an
+        ``np.random.Generator`` seed object) are carried over as-is;
+        fitted state never is.
+        """
+        return type(self)(**self._init_params())
+
+    def fit(self, *args, **kwargs) -> "TrainableModel":
+        raise NotImplementedError
+
+    def uplift_scores(self, x) -> np.ndarray:
+        """Uniform per-user uplift ranking scores, whatever the family.
+
+        Resolves ``predict_roi`` (ROI models), then ``predict_uplift``
+        (CATE models), then ``predict`` (supervised effect regressors).
+        """
+        for name in ("predict_roi", "predict_uplift", "predict"):
+            method = getattr(self, name, None)
+            if callable(method):
+                return np.asarray(method(x), dtype=float)
+        raise NotImplementedError(
+            f"{type(self).__name__} exposes none of predict_roi/predict_uplift/predict"
+        )
+
+
+def refit_model(model: TrainableModel, x, t, y_r, y_c) -> TrainableModel:
+    """Fit ``model`` on a realised-outcome stream, whatever its family.
+
+    The retraining loop buffers one ``(x_row, treated, y_r, y_c)``
+    record per decided request; this dispatcher translates that uniform
+    stream into each family's native ``fit`` signature, resolved by
+    parameter names:
+
+    * ``fit(x, y_revenue, y_cost, t)`` — two-phase ROI models;
+    * ``fit(x, t, y_r, y_c)`` — direct ROI models (DRP family);
+    * ``fit(x, y, t)`` — uplift models, fit on the net outcome
+      ``y_r - y_c``;
+    * ``fit(x, y, ...)`` — supervised regressors, fit on the net
+      outcome (no treatment indicator).
+
+    Returns the fitted model (``fit``'s own return).
+    """
+    x = np.asarray(x, dtype=float)
+    t = np.asarray(t)
+    y_r = np.asarray(y_r, dtype=float)
+    y_c = np.asarray(y_c, dtype=float)
+    params = inspect.signature(model.fit).parameters
+    if "y_revenue" in params and "y_cost" in params:
+        return model.fit(x, y_r, y_c, t)
+    if "y_r" in params and "y_c" in params:
+        return model.fit(x, t, y_r, y_c)
+    if "t" in params:
+        return model.fit(x, y_r - y_c, t)
+    return model.fit(x, y_r - y_c)
+
+
+class UpliftModel(TrainableModel):
     """Abstract CATE estimator: ``fit(X, y, t)`` then ``predict_uplift(X)``.
 
     Sub-classes estimate ``τ(x) = E[Y(1) − Y(0) | X = x]`` from RCT data

@@ -38,6 +38,10 @@ class CausalForestUplift(UpliftModel):
             random_state=random_state,
         )
 
+    def _init_params(self) -> dict:
+        # constructor parameters live on the wrapped forest (same names)
+        return self.forest._init_params()
+
     def fit(self, x, y, t) -> "CausalForestUplift":
         x, y, t = validate_uplift_inputs(x, y, t)
         self.forest.fit(x, y, t)

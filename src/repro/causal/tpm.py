@@ -13,7 +13,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.causal.base import UpliftModel
+from repro.causal.base import TrainableModel, UpliftModel
 from repro.causal.forest_uplift import CausalForestUplift
 from repro.causal.meta.s_learner import SLearner
 from repro.causal.meta.x_learner import XLearner
@@ -32,7 +32,7 @@ from repro.utils.validation import (
 __all__ = ["TwoPhaseMethod", "make_tpm", "TPM_VARIANTS"]
 
 
-class TwoPhaseMethod:
+class TwoPhaseMethod(TrainableModel):
     """Compose a revenue uplift model and a cost uplift model into ROI.
 
     Parameters
@@ -59,6 +59,15 @@ class TwoPhaseMethod:
         self.cost_model = cost_model
         self.cost_floor = float(cost_floor)
         self._fitted = False
+
+    def _init_params(self) -> dict:
+        # both phase-1 models are themselves cloned unfitted, so a
+        # TPM clone learns only from the data it is refit on
+        return {
+            "revenue_model": self.revenue_model.clone_unfit(),
+            "cost_model": self.cost_model.clone_unfit(),
+            "cost_floor": self.cost_floor,
+        }
 
     def fit(self, x, y_revenue, y_cost, t) -> "TwoPhaseMethod":
         """Fit both phase-1 models on the same RCT sample."""

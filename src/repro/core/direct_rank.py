@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
+
 from repro.nn.activations import sigmoid, sigmoid_grad
 from repro.nn.mc_dropout import mc_dropout_statistics
 from repro.nn.network import Network, mlp
@@ -69,7 +71,7 @@ def dr_loss(
     return value, grad
 
 
-class DirectRank:
+class DirectRank(TrainableModel):
     """DR model: MLP scorer trained with the soft-selection ratio loss.
 
     The public surface mirrors :class:`~repro.core.drp.DRPModel` so the

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
+
 from repro.nn.activations import sigmoid, softplus
 from repro.nn.network import Network, TrainingHistory, mlp
 from repro.nn.optimizers import Adam
@@ -90,7 +92,7 @@ def _drp_batch_loss(pred: np.ndarray, batch: dict) -> tuple[float, np.ndarray]:
     return value, grad
 
 
-class DRPModel:
+class DRPModel(TrainableModel):
     """Direct ROI Prediction model.
 
     A one-hidden-layer MLP (10–100 units in the paper; default 64)

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
+
 from repro.core.calibration import HeuristicCalibration
 from repro.core.conformal import ConformalCalibrator
 from repro.core.drp import DRPModel
@@ -37,7 +39,7 @@ from repro.utils.validation import (
 __all__ = ["RobustDRP"]
 
 
-class RobustDRP:
+class RobustDRP(TrainableModel):
     """Robust Direct ROI Prediction (the paper's contribution).
 
     Parameters
@@ -98,6 +100,21 @@ class RobustDRP:
     # ------------------------------------------------------------------
     # Algorithm 4, phase 1: training set
     # ------------------------------------------------------------------
+    def _init_params(self) -> dict:
+        # rDRP aggregates its parameters into sub-components; read them
+        # back from there and clone the wrapped DRP unfitted
+        return {
+            "alpha": self.alpha,
+            "mc_samples": self.mc_samples,
+            "roi_star_mode": self.roi_star_estimator.mode,
+            "roi_star_bins": self.roi_star_estimator.n_bins,
+            "candidate_forms": self.calibration.candidate_forms,
+            "selection_margin": self.calibration.selection_margin,
+            "use_mc_mean": self.use_mc_mean,
+            "drp": self.drp.clone_unfit(),
+            "random_state": self.calibration.random_state,
+        }
+
     def fit(self, x, t, y_r, y_c) -> "RobustDRP":
         """Train the underlying DRP model (Algorithm 4 line 2)."""
         self.drp.fit(x, t, y_r, y_c)

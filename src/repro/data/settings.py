@@ -17,6 +17,7 @@ base distribution.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -191,6 +192,13 @@ def iter_dataset_chunks(
         raise ValueError(f"chunk_size must be >= 50, got {chunk_size}")
     if name not in _GENERATORS:
         raise ValueError(f"Unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    if parallel or n_workers is not None:
+        warnings.warn(
+            "iter_dataset_chunks(parallel=..., n_workers=...) is deprecated; pass a "
+            "shared backend= (e.g. repro.runtime.ProcessBackend) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     workers = resolve_n_workers(n_workers)
     seeds = SeedStream(random_state)
     # generous cap: even a 10%-yield generator fits well inside it

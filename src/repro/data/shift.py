@@ -18,7 +18,7 @@ import numpy as np
 from repro.data.rct import RCTDataset
 from repro.utils.rng import as_generator
 
-__all__ = ["exponential_tilt_shift", "shift_direction"]
+__all__ = ["concept_drift", "exponential_tilt_shift", "shift_direction"]
 
 
 def shift_direction(dataset: RCTDataset, kind: str = "first_features") -> np.ndarray:
@@ -109,3 +109,63 @@ def exponential_tilt_shift(
     shifted = dataset.subset(idx)
     shifted.name = f"{dataset.name}-shifted"
     return shifted
+
+
+def concept_drift(
+    dataset: RCTDataset,
+    strength: float = 1.0,
+    direction: np.ndarray | None = None,
+) -> RCTDataset:
+    """Change ``Y | X`` deterministically: tilt ``τ_r`` as a function of x.
+
+    The complement of :func:`exponential_tilt_shift`.  Covariate shift
+    moves the feature marginal and leaves the conditional law alone — a
+    model fitted before the shift stays *correct*, just evaluated on
+    different traffic.  Concept drift is the failure mode retraining
+    exists for: the same users respond differently, so a frozen model's
+    ranking is now simply wrong.
+
+    Here the revenue effect is rescaled along a feature direction::
+
+        τ_r'(x) = clip(τ_r(x) · exp(-strength · z(x)),  ε,  τ_c(x)·(1-ε))
+
+    where ``z`` is the standardised projection of ``x`` onto
+    ``direction``.  High-``z`` users (the ones an in-distribution model
+    learned to favour) lose revenue response and low-``z`` users gain
+    it, so the pre-drift ROI ranking inverts along the drift axis.
+    Realised treated revenue moves with the effect
+    (``y_r' = y_r + t·(τ_r' - τ_r)``), ``roi`` is recomputed, costs are
+    untouched, and the clip keeps Assumption 3 (``roi ∈ (0, 1)``).
+
+    The transform is a pure function of each row — no randomness — so
+    two cohorts drawn with common random numbers stay CRN-paired after
+    drift, which is what lets a retraining-vs-frozen comparison use
+    paired differences.
+    """
+    if strength < 0:
+        raise ValueError(f"strength must be >= 0, got {strength}")
+    if direction is None:
+        direction = shift_direction(dataset)
+    direction = np.asarray(direction, dtype=float).ravel()
+    if direction.shape[0] != dataset.n_features:
+        raise ValueError(
+            f"direction has {direction.shape[0]} entries, expected {dataset.n_features}"
+        )
+    eps = 1e-6
+    z = dataset.x @ direction
+    z = (z - z.mean()) / max(float(z.std()), 1e-9)
+    factor = np.exp(-strength * z)
+    tau_r = np.clip(dataset.tau_r * factor, eps, dataset.tau_c * (1.0 - eps))
+    y_r = dataset.y_r + dataset.t * (tau_r - dataset.tau_r)
+    drifted = RCTDataset(
+        x=dataset.x,
+        t=dataset.t,
+        y_r=y_r,
+        y_c=dataset.y_c,
+        tau_r=tau_r,
+        tau_c=dataset.tau_c,
+        roi=tau_r / dataset.tau_c,
+        name=f"{dataset.name}-drifted",
+        feature_names=list(dataset.feature_names),
+    )
+    return drifted

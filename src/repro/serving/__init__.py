@@ -12,6 +12,12 @@ has to survive until midnight.  This package is that online half:
 * :class:`AutoPromoter` — the lifecycle control loop: staged traffic
   ramp on a :class:`~repro.runtime.DeadlineLoop`, Welch significance
   gate over the per-version ledgers, auto-promote / kill / rollback;
+* :class:`Retrainer` — closes the loop: drains realised outcomes into
+  a rolling training window, refits a
+  :class:`~repro.causal.base.TrainableModel` clone on a trigger policy
+  (periodic / outcome-count / drift-score) and auto-stages the refit
+  as a challenger for the promoter to ramp (see
+  :mod:`repro.serving.retraining`);
 * :class:`ScoringEngine` — micro-batching request scorer (one
   vectorised model call per flush) with an LRU score cache;
 * :class:`ShardedScoringEngine` / :class:`ShardedBudgetPacer` — the
@@ -49,10 +55,11 @@ Quickstart
 """
 
 from repro.serving.engine import EngineCore, ScoringEngine
-from repro.serving.pacing import BudgetPacer, MultiDayPacer
+from repro.serving.pacing import BudgetPacer, DayPlan, EmpiricalCurve, MultiDayPacer
 from repro.serving.policy import ConformalGatedPolicy, DecisionPolicy, GreedyROIPolicy
 from repro.serving.promotion import AutoPromoter, PromotionEvent
 from repro.serving.registry import ModelRegistry, ModelVersion, OutcomeLedger
+from repro.serving.retraining import RetrainEvent, Retrainer
 from repro.serving.sharding import ShardedBudgetPacer, ShardedScoringEngine
 from repro.serving.simulator import MultiDayReplayResult, ReplayResult, TrafficReplay
 
@@ -60,7 +67,9 @@ __all__ = [
     "AutoPromoter",
     "BudgetPacer",
     "ConformalGatedPolicy",
+    "DayPlan",
     "DecisionPolicy",
+    "EmpiricalCurve",
     "EngineCore",
     "GreedyROIPolicy",
     "ModelRegistry",
@@ -70,6 +79,8 @@ __all__ = [
     "OutcomeLedger",
     "PromotionEvent",
     "ReplayResult",
+    "RetrainEvent",
+    "Retrainer",
     "ScoringEngine",
     "ShardedBudgetPacer",
     "ShardedScoringEngine",

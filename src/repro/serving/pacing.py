@@ -34,6 +34,7 @@ its cumulative plan instead of leaking every day's residual.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -41,7 +42,55 @@ import numpy as np
 from repro.core.roi_star import binary_search_roi_star, bisect_monotone
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["BudgetPacer", "MultiDayPacer"]
+__all__ = ["BudgetPacer", "DayPlan", "EmpiricalCurve", "MultiDayPacer"]
+
+
+class EmpiricalCurve:
+    """Monotone piecewise-linear spend curve fitted to observed demand.
+
+    Built from a completed day's ``(n_seen, offered_cost)`` trace: the
+    fraction of the day's total *offered* cost that had arrived by each
+    fraction of its arrivals.  Used as the next day's ``target_curve``
+    so the pacer releases budget when demand historically showed up
+    instead of uniformly.  Plain object (not a closure) so planned
+    pacers stay picklable.
+    """
+
+    def __init__(self, progress: np.ndarray, fraction: np.ndarray) -> None:
+        progress = np.asarray(progress, dtype=float)
+        fraction = np.asarray(fraction, dtype=float)
+        if progress.shape != fraction.shape or progress.ndim != 1 or progress.size < 2:
+            raise ValueError("progress and fraction must be equal-length 1-d, size >= 2")
+        if progress[0] != 0.0 or progress[-1] != 1.0 or fraction[-1] != 1.0:
+            raise ValueError("curve must span progress [0, 1] and end at fraction 1")
+        if np.any(np.diff(progress) < 0) or np.any(np.diff(fraction) < 0):
+            raise ValueError("curve knots must be non-decreasing")
+        self.progress = progress
+        self.fraction = fraction
+
+    @classmethod
+    def from_trace(
+        cls, trace: list[tuple[int, float]], n_total: int, offered_total: float
+    ) -> "EmpiricalCurve":
+        """Build from a :attr:`BudgetPacer.offered_trace` of a finished day."""
+        if n_total <= 0 or offered_total <= 0 or len(trace) < 1:
+            raise ValueError("need a non-empty day (arrivals and offered cost > 0)")
+        xs = [0.0] + [min(1.0, n / n_total) for n, _ in trace] + [1.0]
+        ys = [0.0] + [min(1.0, c / offered_total) for _, c in trace] + [1.0]
+        return cls(np.maximum.accumulate(xs), np.maximum.accumulate(ys))
+
+    def __call__(self, progress: float) -> float:
+        return float(np.interp(progress, self.progress, self.fraction))
+
+
+@dataclass(frozen=True)
+class DayPlan:
+    """Day-ahead plan: the next day's pacer sizing, derived from the
+    last observed day by :meth:`MultiDayPacer.plan_next_day`."""
+
+    base_budget: float
+    horizon: int
+    target_curve: EmpiricalCurve | None = None
 
 
 def _uniform_curve(progress: float) -> float:
@@ -140,6 +189,13 @@ class BudgetPacer:
         self.n_seen = 0
         self.n_admitted = 0
         self.spent = 0.0
+        #: cumulative expected cost of *all* offers seen (admitted or
+        #: not) — the day's observed demand, which day-ahead planning
+        #: sizes the next day's base budget from
+        self.offered_cost = 0.0
+        #: (n_seen, offered_cost) at each refresh — the within-day
+        #: demand shape, which day-ahead planning turns into a curve
+        self.offered_trace: list[tuple[int, float]] = []
         self.threshold_ = 0.0
         self.roi_floor_ = 0.0
         self._last_refresh = -(10**9)
@@ -166,6 +222,7 @@ class BudgetPacer:
             raise ValueError(f"cost must be > 0 (Assumption 4), got {cost}")
         self.n_seen += 1
         self._c_offers.inc()
+        self.offered_cost += cost
         self._traffic.append((score, cost))
         if (
             self.n_seen >= self.warmup
@@ -268,6 +325,7 @@ class BudgetPacer:
                     self.roi_floor_ = binary_search_roi_star(t, y_r, y_c)
                     self.threshold_ = max(self.threshold_, self.roi_floor_)
         self.history.append((self.n_seen, self.spent, self.threshold_))
+        self.offered_trace.append((self.n_seen, self.offered_cost))
         self._g_threshold.set(self.threshold_)
         self._g_roi_floor.set(self.roi_floor_)
         # signed pacing error: + means spending ahead of the curve
@@ -388,10 +446,18 @@ class MultiDayPacer:
     # day lifecycle
     # ------------------------------------------------------------------
     def start_day(
-        self, base_budget: float | None = None, horizon: int | None = None
+        self,
+        base_budget: float | None = None,
+        horizon: int | None = None,
+        target_curve=None,
     ) -> BudgetPacer:
         """Open the next day: a fresh :class:`BudgetPacer` holding
-        ``base_budget + carried residual``."""
+        ``base_budget + carried residual``.
+
+        ``target_curve`` (e.g. a planned :class:`EmpiricalCurve`)
+        overrides the default ``pacer_params`` curve for this day only;
+        the ``"early"`` carryover tilt still composes on top of it.
+        """
         if self.current is not None:
             raise RuntimeError("previous day still open — call end_day() first")
         base = self.daily_budget if base_budget is None else float(base_budget)
@@ -403,6 +469,8 @@ class MultiDayPacer:
         if n is None:
             raise ValueError("no horizon given and no horizon default set")
         params = dict(self.pacer_params)
+        if target_curve is not None:
+            params["target_curve"] = target_curve
         budget = base + self.carry
         if self.carryover_mode == "early" and self.carry > 0.0 and budget > 0.0:
             base_curve = params.get("target_curve") or _uniform_curve
@@ -436,6 +504,46 @@ class MultiDayPacer:
         self._c_days.inc()
         self._g_carry.set(carry_out)
         return self.carry
+
+    # ------------------------------------------------------------------
+    # day-ahead planning
+    # ------------------------------------------------------------------
+    def plan_next_day(
+        self, budget_fraction: float, *, plan_curve: bool = True
+    ) -> DayPlan:
+        """Size day *d+1* from day *d*'s observed traffic.
+
+        The seed experiment sizes every day's budget from an oracle
+        cohort sum; a live system only sees what arrived.  This uses
+        the last completed day's demand instead: the planned base
+        budget is ``budget_fraction`` of the total *offered* cost that
+        day (what full treatment would have cost), the horizon is that
+        day's arrival count, and — when ``plan_curve`` and the day
+        refreshed at least once — the target curve is the day's
+        empirical within-day demand shape (:class:`EmpiricalCurve`).
+
+        Feed the result to :meth:`start_day`::
+
+            plan = pacer.plan_next_day(0.3)
+            pacer.start_day(plan.base_budget, plan.horizon, plan.target_curve)
+        """
+        if not 0.0 <= budget_fraction:
+            raise ValueError(f"budget_fraction must be >= 0, got {budget_fraction}")
+        if not self.days or (self.current is not None and len(self.days) == 1):
+            raise RuntimeError("no completed day to plan from — finish a day first")
+        last = self.days[-1] if self.current is None else self.days[-2]
+        if last.n_seen == 0:
+            raise RuntimeError("last completed day saw no traffic; cannot plan")
+        curve = None
+        if plan_curve and last.offered_trace and last.offered_cost > 0:
+            curve = EmpiricalCurve.from_trace(
+                last.offered_trace, last.n_seen, last.offered_cost
+            )
+        return DayPlan(
+            base_budget=float(budget_fraction) * last.offered_cost,
+            horizon=last.n_seen,
+            target_curve=curve,
+        )
 
     # ------------------------------------------------------------------
     # in-day delegation (so the pacer can stand in for a BudgetPacer)

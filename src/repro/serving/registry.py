@@ -90,6 +90,26 @@ class OutcomeLedger:
         self._net_sumsq = 0.0
         self._revenue_sumsq = 0.0
 
+    def merge(self, other: "OutcomeLedger") -> "OutcomeLedger":
+        """Fold another ledger into this one, exactly.
+
+        Every field is a raw sum (counts, totals, raw second moments),
+        so folding is plain addition — no mean/variance recombination,
+        no float error beyond the additions themselves.  This is what
+        lets retraining and fleet accounting ship per-shard ledgers
+        across processes (pickled) and fold them on the parent with
+        :class:`~repro.obs.Snapshot`-merge semantics: ``merge`` is
+        commutative and associative, and ``moments()`` of the fold
+        equals ``moments()`` of the union stream.
+        """
+        self.n += other.n
+        self.n_treated += other.n_treated
+        self.spend += other.spend
+        self.revenue += other.revenue
+        self._net_sumsq += other._net_sumsq
+        self._revenue_sumsq += other._revenue_sumsq
+        return self
+
     def moments(self, metric: str = "net") -> tuple[float, float, int]:
         """``(mean, sample variance, n)`` of the per-request metric."""
         if metric == "net":

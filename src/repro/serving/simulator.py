@@ -50,6 +50,7 @@ from repro.runtime import ManualClock
 from repro.serving.engine import ScoringEngine
 from repro.serving.pacing import BudgetPacer, MultiDayPacer
 from repro.serving.promotion import AutoPromoter
+from repro.serving.retraining import Retrainer
 from repro.utils.rng import as_generator
 
 __all__ = ["MultiDayReplayResult", "TrafficReplay", "ReplayResult"]
@@ -205,6 +206,25 @@ class TrafficReplay:
         simulated) time.  Outcome realisation shares the feedback
         draws, so adding a promoter does not perturb the pacer's
         ``roi*`` stream.
+    retrainer:
+        A :class:`~repro.serving.retraining.Retrainer` closing the
+        loop: every decided arrival's feature row and realised outcome
+        are buffered via :meth:`Retrainer.observe`, and the retrainer
+        is polled once per arrival so its periodic trigger and fit
+        collection run on the replay's clock.  Refits stage themselves
+        into the engine's registry, where the ``promoter`` (if any)
+        ramps them.
+    paired_outcomes:
+        When True, the per-user outcome uniforms are drawn as one
+        cohort-indexed block up front instead of sequentially per
+        decision.  User ``i`` then realises the same ``(y_r, y_c)``
+        draws whatever order decisions happen in — the common-random-
+        numbers hook that makes two replays with identically-seeded
+        platforms *paired* even when their policies admit different
+        users (the same coupling
+        :meth:`~repro.ab.platform.Platform.realize_arms` uses).
+        Default False preserves the bit-identical legacy sequential
+        stream.
     random_state:
         Seed/generator for realising feedback/promotion outcomes.
     """
@@ -216,6 +236,8 @@ class TrafficReplay:
         feedback: bool = False,
         interarrival_s: float | None = None,
         promoter: AutoPromoter | None = None,
+        retrainer: Retrainer | None = None,
+        paired_outcomes: bool = False,
         random_state: int | np.random.Generator | None = None,
     ) -> None:
         if interarrival_s is not None:
@@ -241,11 +263,28 @@ class TrafficReplay:
                 "on simulated time — on its own clock the ramp schedule "
                 "would silently run on wall time instead"
             )
+        if retrainer is not None and retrainer.registry is not engine.registry:
+            raise ValueError(
+                "retrainer must stage into the engine's registry — refits "
+                "registered elsewhere would never serve traffic"
+            )
+        if (
+            retrainer is not None
+            and interarrival_s is not None
+            and retrainer.clock is not engine.clock
+        ):
+            raise ValueError(
+                "retrainer must share the engine's ManualClock when replaying "
+                "on simulated time — on its own clock the periodic trigger "
+                "would silently run on wall time instead"
+            )
         self.platform = platform
         self.engine = engine
         self.feedback = bool(feedback)
         self.interarrival_s = interarrival_s
         self.promoter = promoter
+        self.retrainer = retrainer
+        self.paired_outcomes = bool(paired_outcomes)
         self._rng = as_generator(random_state)
 
     def replay_day(
@@ -290,6 +329,7 @@ class TrafficReplay:
         pacer_params: dict | None = None,
         carryover: float = 1.0,
         carryover_mode: str = "spread",
+        plan_budgets: bool = False,
     ) -> MultiDayReplayResult:
         """Stream a multi-day campaign with cross-day budget carryover.
 
@@ -299,6 +339,14 @@ class TrafficReplay:
         every day's residual into the next day's pacing, so the
         campaign spend converges on the cumulative plan while each
         day's pacer keeps its single-day invariants.
+
+        ``plan_budgets=True`` switches days 2+ to *day-ahead planning*
+        (:meth:`~repro.serving.pacing.MultiDayPacer.plan_next_day`):
+        day ``d+1``'s base budget is ``budget_fraction`` of day ``d``'s
+        observed offered cost, its horizon is day ``d``'s arrival
+        count, and its pacing curve is day ``d``'s empirical demand
+        shape — no oracle cohort sums, which is how a live system must
+        budget.  Day 1 (no history yet) keeps the oracle sizing.
         """
         if n_days < 1:
             raise ValueError(f"n_days must be >= 1, got {n_days}")
@@ -312,11 +360,17 @@ class TrafficReplay:
         result = MultiDayReplayResult()
         for day in range(1, n_days + 1):
             cohort = self.platform.daily_cohort(n_users, day)
-            if daily_budget is None:
-                base = budget_fraction * float(np.sum(cohort.tau_c))
+            if plan_budgets and day > 1:
+                plan = multi.plan_next_day(budget_fraction)
+                pacer = multi.start_day(
+                    plan.base_budget, plan.horizon, plan.target_curve
+                )
             else:
-                base = float(daily_budget)
-            pacer = multi.start_day(base_budget=base)
+                if daily_budget is None:
+                    base = budget_fraction * float(np.sum(cohort.tau_c))
+                else:
+                    base = float(daily_budget)
+                pacer = multi.start_day(base_budget=base)
             result.days.append(self._stream_cohort(cohort, pacer, pacer.budget))
             multi.end_day()
         result.ledger = list(multi.ledger)
@@ -341,6 +395,12 @@ class TrafficReplay:
         instrumented = self.engine.metrics is not NULL_REGISTRY
         metrics_before = self.engine.metrics.snapshot() if instrumented else None
         waiting: deque[tuple[int, int]] = deque()  # (request_id, cohort index)
+        realise = (
+            self.feedback or self.promoter is not None or self.retrainer is not None
+        )
+        # paired mode: one cohort-indexed uniform block, so user i's
+        # draws are independent of decision order (CRN across replays)
+        uniforms = self._rng.random((cohort.n, 2)) if self.paired_outcomes else None
 
         def drain(force: bool = False) -> None:
             nonlocal n_decided
@@ -358,16 +418,18 @@ class TrafficReplay:
                 treated[i] = admit
                 trajectory[n_decided] = pacer.spent
                 n_decided += 1
-                if self.feedback or self.promoter is not None:
+                if realise:
                     # realised Bernoulli incremental outcomes: skipped
                     # users realise none, mirroring Platform.realize_arm
-                    draw = self._rng.random(2)
+                    draw = uniforms[i] if uniforms is not None else self._rng.random(2)
                     y_r = float(draw[0] < cohort.tau_r[i]) if admit else 0.0
                     y_c = float(draw[1] < cohort.tau_c[i]) if admit else 0.0
                     if self.feedback:
                         pacer.observe_outcome(int(admit), y_r, y_c)
                     if self.promoter is not None:
                         self.promoter.observe(vid, bool(admit), y_r, y_c)
+                    if self.retrainer is not None:
+                        self.retrainer.observe(cohort.x[i], bool(admit), y_r, y_c)
 
         clock = self.engine.clock if self.interarrival_s is not None else None
         start = time.perf_counter()
@@ -388,12 +450,18 @@ class TrafficReplay:
                 # ramp deadlines fire at arrival granularity: the first
                 # arrival after a step boundary sees the widened split
                 self.promoter.poll()
+            if self.retrainer is not None:
+                # periodic refit triggers + async fit collection run at
+                # the same arrival granularity
+                self.retrainer.poll()
             waiting.append((self.engine.submit(x_row), i))
             self.engine.poll()
             drain()
         drain(force=True)
         if self.promoter is not None:
             self.promoter.poll()  # day's end: fire any boundary that landed on it
+        if self.retrainer is not None:
+            self.retrainer.poll()
         elapsed = time.perf_counter() - start
 
         if waiting or n_decided != cohort.n:

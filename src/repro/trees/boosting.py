@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
 from repro.trees.tree import DecisionTreeRegressor
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_1d, check_2d, check_consistent_length
@@ -11,7 +12,7 @@ from repro.utils.validation import check_1d, check_2d, check_consistent_length
 __all__ = ["GradientBoostingRegressor"]
 
 
-class GradientBoostingRegressor:
+class GradientBoostingRegressor(TrainableModel):
     """Gradient boosting with squared-error loss.
 
     Each stage fits a shallow CART tree to the current residuals and is

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
 from repro.trees.causal_tree import CausalTree
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_1d, check_2d, check_binary, check_consistent_length
@@ -18,7 +19,7 @@ from repro.utils.validation import check_1d, check_2d, check_binary, check_consi
 __all__ = ["CausalForest"]
 
 
-class CausalForest:
+class CausalForest(TrainableModel):
     """Subsampled ensemble of honest causal trees.
 
     Parameters

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
     check_1d,
@@ -83,7 +84,7 @@ def best_effect_split(
     return float(threshold), float(score[best])
 
 
-class CausalTree:
+class CausalTree(TrainableModel):
     """A single honest causal tree estimating ``τ(x) = E[Y(1) − Y(0) | x]``.
 
     Parameters

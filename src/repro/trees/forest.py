@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
 from repro.trees.tree import DecisionTreeRegressor
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_1d, check_2d, check_consistent_length
@@ -11,7 +12,7 @@ from repro.utils.validation import check_1d, check_2d, check_consistent_length
 __all__ = ["RandomForestRegressor"]
 
 
-class RandomForestRegressor:
+class RandomForestRegressor(TrainableModel):
     """Bootstrap-aggregated CART ensemble.
 
     Default base learner for the meta-learner uplift baselines: forests

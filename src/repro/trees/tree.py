@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.causal.base import TrainableModel
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_1d, check_2d, check_consistent_length
 
@@ -63,7 +64,7 @@ def best_sse_split(
     return float(threshold), float(gain[best])
 
 
-class DecisionTreeRegressor:
+class DecisionTreeRegressor(TrainableModel):
     """CART regression tree.
 
     Parameters

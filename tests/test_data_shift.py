@@ -93,3 +93,87 @@ class TestExponentialTilt:
         proj_weak = float((weak.x @ direction).mean())
         proj_strong = float((strong.x @ direction).mean())
         assert proj_strong > proj_weak
+
+
+class TestConceptDrift:
+    def test_deterministic_pure_function(self, base):
+        from repro.data.shift import concept_drift
+
+        a = concept_drift(base, strength=1.5)
+        b = concept_drift(base, strength=1.5)
+        assert np.array_equal(a.tau_r, b.tau_r)
+        assert np.array_equal(a.y_r, b.y_r)
+        assert a.name == f"{base.name}-drifted"
+
+    def test_conditional_law_changes_marginal_does_not(self, base):
+        from repro.data.shift import concept_drift
+
+        drifted = concept_drift(base, strength=2.0)
+        assert np.array_equal(drifted.x, base.x)  # covariates untouched
+        assert np.array_equal(drifted.t, base.t)
+        assert np.array_equal(drifted.y_c, base.y_c)  # costs untouched
+        assert np.array_equal(drifted.tau_c, base.tau_c)
+        assert not np.array_equal(drifted.tau_r, base.tau_r)
+
+    def test_roi_stays_in_assumption_3_band(self, base):
+        from repro.data.shift import concept_drift
+
+        for strength in (0.5, 2.0, 5.0):
+            drifted = concept_drift(base, strength=strength)
+            assert np.all(drifted.roi > 0.0)
+            assert np.all(drifted.roi < 1.0)
+            assert np.allclose(drifted.roi, drifted.tau_r / drifted.tau_c)
+
+    def test_realised_revenue_moves_only_on_treated_rows(self, base):
+        from repro.data.shift import concept_drift
+
+        drifted = concept_drift(base, strength=2.0)
+        control = base.t == 0
+        assert np.array_equal(drifted.y_r[control], base.y_r[control])
+        delta = drifted.y_r - base.y_r
+        assert np.allclose(delta, base.t * (drifted.tau_r - base.tau_r))
+
+    def test_ranking_inverts_along_drift_axis(self, base):
+        from repro.data.shift import concept_drift, shift_direction
+
+        drifted = concept_drift(base, strength=3.0)
+        z = base.x @ shift_direction(base)
+        hi, lo = z > np.quantile(z, 0.8), z < np.quantile(z, 0.2)
+        # high-z users lose revenue response, low-z users gain (up to clip)
+        assert drifted.tau_r[hi].mean() < base.tau_r[hi].mean()
+        assert drifted.tau_r[lo].mean() >= base.tau_r[lo].mean()
+
+    def test_strength_zero_is_clip_only(self, base):
+        from repro.data.shift import concept_drift
+
+        drifted = concept_drift(base, strength=0.0)
+        assert np.allclose(drifted.tau_r, np.clip(
+            base.tau_r, 1e-6, base.tau_c * (1.0 - 1e-6)
+        ))
+
+    def test_validation(self, base):
+        from repro.data.shift import concept_drift
+
+        with pytest.raises(ValueError, match="strength"):
+            concept_drift(base, strength=-0.1)
+        with pytest.raises(ValueError, match="direction"):
+            concept_drift(base, direction=np.ones(3))
+
+    def test_platform_applies_drift_from_drift_day(self):
+        from repro.ab.platform import Platform
+
+        platform = Platform(
+            dataset="criteo", random_state=0, drift_day=3, drift_strength=2.0
+        )
+        before = platform.daily_cohort(500, day=2)
+        after = platform.daily_cohort(500, day=3)
+        assert not before.name.endswith("-drifted")
+        assert after.name.endswith("-drifted")
+        # a fresh platform with the same seed replays the same stream,
+        # drifted cohort included (the transform itself is deterministic)
+        twin = Platform(
+            dataset="criteo", random_state=0, drift_day=3, drift_strength=2.0
+        )
+        twin.daily_cohort(500, day=2)
+        again = twin.daily_cohort(500, day=3)
+        assert np.array_equal(after.tau_r, again.tau_r)

@@ -115,3 +115,102 @@ class TestLogistic:
     def test_n_iter_recorded(self):
         model = LogisticRegression().fit(np.random.default_rng(0).normal(size=(50, 2)), [0, 1] * 25)
         assert model.n_iter_ >= 1
+
+
+class TestRidgePartialFit:
+    """Warm-start sufficient statistics: batched == one-shot exactly."""
+
+    def test_batches_match_single_fit(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=(300, 4)), rng.normal(size=300)
+        cold = RidgeRegression(alpha=0.7).fit(x, y)
+        warm = RidgeRegression(alpha=0.7)
+        for lo in range(0, 300, 60):
+            warm.partial_fit(x[lo:lo + 60], y[lo:lo + 60])
+        np.testing.assert_allclose(warm.coef_, cold.coef_, atol=1e-10)
+        assert warm.intercept_ == pytest.approx(cold.intercept_, abs=1e-10)
+
+    def test_weighted_batches_match_weighted_fit(self):
+        rng = np.random.default_rng(4)
+        x, y = rng.normal(size=(120, 3)), rng.normal(size=120)
+        w = rng.random(120) + 0.1
+        cold = RidgeRegression(alpha=0.3).fit(x, y, sample_weight=w)
+        warm = RidgeRegression(alpha=0.3)
+        warm.partial_fit(x[:50], y[:50], sample_weight=w[:50])
+        warm.partial_fit(x[50:], y[50:], sample_weight=w[50:])
+        np.testing.assert_allclose(warm.coef_, cold.coef_, atol=1e-10)
+
+    def test_no_intercept_path(self):
+        rng = np.random.default_rng(5)
+        x, y = rng.normal(size=(80, 2)), rng.normal(size=80)
+        cold = RidgeRegression(alpha=0.5, fit_intercept=False).fit(x, y)
+        warm = RidgeRegression(alpha=0.5, fit_intercept=False)
+        warm.partial_fit(x[:40], y[:40]).partial_fit(x[40:], y[40:])
+        np.testing.assert_allclose(warm.coef_, cold.coef_, atol=1e-10)
+        assert warm.intercept_ == 0.0
+
+    def test_full_fit_resets_accumulation(self):
+        rng = np.random.default_rng(6)
+        x, y = rng.normal(size=(100, 3)), rng.normal(size=100)
+        model = RidgeRegression(alpha=1.0)
+        model.partial_fit(x[:50], y[:50])
+        model.fit(x, y)  # discards the accumulated half
+        model.partial_fit(x[:50], y[:50])  # fresh accumulation
+        alone = RidgeRegression(alpha=1.0).partial_fit(x[:50], y[:50])
+        np.testing.assert_allclose(model.coef_, alone.coef_, atol=1e-12)
+
+    def test_feature_mismatch_rejected(self):
+        model = RidgeRegression().partial_fit(np.ones((10, 3)), np.ones(10))
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(np.ones((5, 2)), np.ones(5))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="sample_weight"):
+            RidgeRegression().partial_fit([[1.0]], [1.0], sample_weight=[-1.0])
+
+
+class TestLogisticSampleWeight:
+    """sample_weight matches RidgeRegression.fit: weight w == w replicas."""
+
+    def test_weighted_equals_replicated_rows(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(60, 3))
+        y = (x[:, 0] + 0.3 * rng.normal(size=60) > 0).astype(int)
+        counts = rng.integers(1, 4, size=60)
+        x_rep = np.repeat(x, counts, axis=0)
+        y_rep = np.repeat(y, counts)
+        replicated = LogisticRegression(alpha=0.1).fit(x_rep, y_rep)
+        weighted = LogisticRegression(alpha=0.1).fit(
+            x, y, sample_weight=counts.astype(float)
+        )
+        np.testing.assert_allclose(weighted.coef_, replicated.coef_, atol=1e-6)
+        assert weighted.intercept_ == pytest.approx(replicated.intercept_, abs=1e-6)
+
+    def test_zero_weight_rows_ignored(self):
+        x = np.array([[0.0], [0.0], [5.0], [5.0], [9.0]])
+        y = np.array([0, 0, 1, 1, 0])  # the y=0 outlier at x=9 ...
+        w = np.array([1.0, 1.0, 1.0, 1.0, 0.0])  # ... carries no weight
+        clean = LogisticRegression(alpha=0.1).fit(x[:4], y[:4])
+        weighted = LogisticRegression(alpha=0.1).fit(x, y, sample_weight=w)
+        np.testing.assert_allclose(weighted.coef_, clean.coef_, atol=1e-8)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="sample_weight"):
+            LogisticRegression().fit([[1.0], [2.0]], [0, 1], sample_weight=[-1.0, 1.0])
+        with pytest.raises(ValueError, match="sample_weight"):
+            LogisticRegression().fit([[1.0], [2.0]], [0, 1], sample_weight=[0.0, 0.0])
+
+    def test_warm_start_converges_faster_same_solution(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(400, 4))
+        beta = np.array([1.0, -0.5, 0.25, 0.0])
+        y = (rng.random(400) < 1.0 / (1.0 + np.exp(-(x @ beta)))).astype(int)
+        cold = LogisticRegression(alpha=0.01).fit(x, y)
+        warm = LogisticRegression(alpha=0.01, warm_start=True).fit(x, y)
+        cold_iters = cold.n_iter_
+        # refit on a small perturbation of the same problem
+        x2, y2 = x[: 380], y[: 380]
+        warm.fit(x2, y2)
+        cold2 = LogisticRegression(alpha=0.01).fit(x2, y2)
+        assert warm.n_iter_ < cold_iters
+        np.testing.assert_allclose(warm.coef_, cold2.coef_, atol=1e-6)

@@ -9,6 +9,11 @@ single-engine-equivalence guarantee (same request stream, same scores,
 any backend).  So: fit each public model class on small synthetic RCT
 data, ``pickle.dumps``/``loads`` it, and pin ``predict == predict``
 exactly — ``np.array_equal``, not ``allclose``.
+
+The model list itself (build/train/predict recipes) lives in
+``tests/_model_zoo.py``, shared with the
+:class:`~repro.causal.base.TrainableModel` protocol pins in
+``test_public_api.py``.
 """
 
 from __future__ import annotations
@@ -18,158 +23,33 @@ import pickle
 import numpy as np
 import pytest
 
-from repro.causal.forest_uplift import CausalForestUplift
-from repro.causal.meta import SLearner, TLearner, XLearner
-from repro.causal.neural import DragonNet, OffsetNet, SNet, TARNet
-from repro.core.direct_rank import DirectRank
-from repro.core.drp import DRPModel
-from repro.core.rdrp import RobustDRP
-from repro.linear import LogisticRegression, RidgeRegression
-from repro.trees import (
-    CausalForest,
-    CausalTree,
-    DecisionTreeRegressor,
-    GradientBoostingRegressor,
-    RandomForestRegressor,
-)
+from _model_zoo import CASES, X_EVAL
 
 
-def _rct(n: int = 220, d: int = 5, seed: int = 11):
-    rng = np.random.default_rng(seed)
-    x = rng.normal(size=(n, d))
-    t = (rng.random(n) < 0.5).astype(int)
-    tau_r = 0.8 * x[:, 0] + 0.3
-    y_r = 0.5 * x[:, 1] + t * tau_r + 0.1 * rng.normal(size=n)
-    y_c = np.abs(0.4 * x[:, 2] + t * 0.5 + 0.1 * rng.normal(size=n)) + 0.05
-    y = y_r - y_c
-    return x, t, y, y_r, y_c
-
-
-X, T, Y, Y_R, Y_C = _rct()
-X_EVAL = np.random.default_rng(99).normal(size=(64, X.shape[1]))
-
-# (id, fit(returns fitted model), predict(model, x) -> ndarray)
-CASES = [
-    (
-        "ridge",
-        lambda: RidgeRegression(alpha=0.5).fit(X, Y),
-        lambda m, x: m.predict(x),
-    ),
-    (
-        "logistic",
-        lambda: LogisticRegression(max_iter=50).fit(X, (Y > 0).astype(int)),
-        lambda m, x: m.predict_proba(x),
-    ),
-    (
-        "tree",
-        lambda: DecisionTreeRegressor(max_depth=4).fit(X, Y),
-        lambda m, x: m.predict(x),
-    ),
-    (
-        "forest",
-        lambda: RandomForestRegressor(n_estimators=8, max_depth=4, random_state=0).fit(X, Y),
-        lambda m, x: m.predict(x),
-    ),
-    (
-        "boosting",
-        lambda: GradientBoostingRegressor(n_estimators=8, max_depth=2).fit(X, Y),
-        lambda m, x: m.predict(x),
-    ),
-    (
-        "causal_tree",
-        lambda: CausalTree(max_depth=4).fit(X, Y, T),
-        lambda m, x: m.predict(x),
-    ),
-    (
-        "causal_forest",
-        lambda: CausalForest(n_estimators=6, max_depth=3, random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict(x),
-    ),
-    (
-        "causal_forest_uplift",
-        lambda: CausalForestUplift(n_estimators=6, max_depth=3, random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "s_learner",
-        lambda: SLearner(random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "t_learner",
-        lambda: TLearner(random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "x_learner",
-        lambda: XLearner(random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "tarnet",
-        lambda: TARNet(hidden=8, epochs=3, random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "dragonnet",
-        lambda: DragonNet(hidden=8, epochs=3, random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "offsetnet",
-        lambda: OffsetNet(hidden=8, epochs=3, random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "snet",
-        lambda: SNet(hidden=8, epochs=3, random_state=0).fit(X, Y, T),
-        lambda m, x: m.predict_uplift(x),
-    ),
-    (
-        "drp",
-        lambda: DRPModel(
-            hidden=10, epochs=3, n_restarts=1, patience=None, random_state=0
-        ).fit(X, T, Y_R, Y_C),
-        lambda m, x: m.predict_roi(x),
-    ),
-    (
-        "robust_drp",
-        lambda: RobustDRP(
-            mc_samples=4, hidden=10, epochs=3, n_restarts=1, patience=None, random_state=0
-        ).fit(X, T, Y_R, Y_C).calibrate(X, T, Y_R, Y_C),
-        lambda m, x: m.predict_roi(x),
-    ),
-    (
-        "direct_rank",
-        lambda: DirectRank(hidden=10, epochs=3, random_state=0).fit(X, T, Y_R, Y_C),
-        lambda m, x: m.predict_roi(x),
-    ),
-]
-
-
-@pytest.mark.parametrize("name,fit,predict", CASES, ids=[c[0] for c in CASES])
-def test_pickle_roundtrip_bit_identical(name, fit, predict):
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_pickle_roundtrip_bit_identical(case):
     # pickle *first*, predict on both after — the shipping scenario.
     # (Predicting before the pickle would advance stateful prediction
     # RNGs — RobustDRP's MC dropout — and desync parent and replica.)
-    model = fit()
+    model = case.train(case.build())
     clone = pickle.loads(pickle.dumps(model))
-    parent = np.asarray(predict(model, X_EVAL), dtype=float)
-    replica = np.asarray(predict(clone, X_EVAL), dtype=float)
+    parent = np.asarray(case.predict(model, X_EVAL), dtype=float)
+    replica = np.asarray(case.predict(clone, X_EVAL), dtype=float)
     assert parent.shape == replica.shape
-    assert np.array_equal(parent, replica), f"{name} drifted through pickle"
+    assert np.array_equal(parent, replica), f"{case.name} drifted through pickle"
     # the clone must be a genuine copy, not a reference back
     assert clone is not model
 
 
-@pytest.mark.parametrize("name,fit,predict", CASES[:4], ids=[c[0] for c in CASES[:4]])
-def test_double_roundtrip_stable(name, fit, predict):
+@pytest.mark.parametrize("case", CASES[:4], ids=[c.name for c in CASES[:4]])
+def test_double_roundtrip_stable(case):
     """pickle(pickle(m)) predicts like pickle(m): no per-hop drift."""
-    model = fit()
+    model = case.train(case.build())
     once = pickle.loads(pickle.dumps(model))
     twice = pickle.loads(pickle.dumps(once))
     assert np.array_equal(
-        np.asarray(predict(once, X_EVAL)), np.asarray(predict(twice, X_EVAL))
+        np.asarray(case.predict(once, X_EVAL)),
+        np.asarray(case.predict(twice, X_EVAL)),
     )
 
 

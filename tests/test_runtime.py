@@ -406,3 +406,76 @@ class TestExperimentPoolReuse:
                 serial.results[name].days, shared.results[name].days
             ):
                 assert day_s == day_p
+
+
+class TestLegacyParallelKwargDeprecation:
+    """``parallel=``/``n_workers=`` are deprecated in favour of ``backend=``.
+
+    The legacy spellings must keep working bit-identically (each entry
+    point still honours them), but now raise a DeprecationWarning so
+    callers migrate to passing an ExecutionBackend explicitly.
+    """
+
+    def test_platform_warns_on_legacy_kwargs(self):
+        from repro.ab.platform import Platform
+
+        with pytest.warns(DeprecationWarning, match="backend="):
+            Platform(dataset="criteo", random_state=0, parallel=True, n_workers=2)
+        with pytest.warns(DeprecationWarning, match="backend="):
+            Platform(dataset="criteo", random_state=0, n_workers=2)
+
+    @staticmethod
+    def _policy():
+        # a Policy is any callable x -> scores
+        return {"first-feature": lambda x: x[:, 0]}
+
+    def test_abtest_and_policy_replay_warn(self):
+        from repro.ab import ABTest, PolicyReplay
+        from repro.ab.platform import Platform
+
+        platform = Platform(dataset="criteo", random_state=0)
+        with pytest.warns(DeprecationWarning, match="backend="):
+            ABTest(platform, self._policy(), parallel=False)
+        with pytest.warns(DeprecationWarning, match="backend="):
+            PolicyReplay(platform, {"set": self._policy()}, n_workers=2)
+
+    def test_iter_dataset_chunks_warns(self):
+        from repro.data.settings import iter_dataset_chunks
+
+        with pytest.warns(DeprecationWarning, match="backend="):
+            chunks = iter_dataset_chunks(
+                "criteo", n=300, chunk_size=100, random_state=0, parallel=True
+            )
+            next(iter(chunks))
+
+    def test_backend_spelling_stays_silent(self):
+        import warnings
+
+        from repro.ab import ABTest, PolicyReplay
+        from repro.ab.platform import Platform
+        from repro.data.settings import iter_dataset_chunks
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with SerialBackend() as backend:
+                platform = Platform(dataset="criteo", random_state=0, backend=backend)
+                ABTest(platform, self._policy(), backend=backend)
+                PolicyReplay(platform, {"set": self._policy()}, backend=backend)
+                for _ in iter_dataset_chunks(
+                    "criteo", n=300, chunk_size=100, random_state=0, backend=backend
+                ):
+                    pass
+
+    def test_legacy_spelling_still_bit_identical(self):
+        import warnings
+
+        from repro.ab.platform import Platform
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = Platform(
+                dataset="criteo", random_state=5, parallel=True, n_workers=2
+            ).daily_cohort(400, day=1)
+        modern = Platform(dataset="criteo", random_state=5).daily_cohort(400, day=1)
+        assert np.array_equal(legacy.x, modern.x)
+        assert np.array_equal(legacy.tau_r, modern.tau_r)

@@ -1209,3 +1209,159 @@ class TestTrafficReplay:
         assert result.spend <= result.budget + 1e-9
         # the floor engaged at some refresh: recorded thresholds reach it
         assert any(thr > 0 for _n, _s, thr in result.pacing_history)
+
+
+# ---------------------------------------------------------------------------
+# OutcomeLedger folding (regression: streaming moments must survive
+# pickle round-trips and Snapshot.merge-style folding exactly)
+# ---------------------------------------------------------------------------
+
+
+class TestOutcomeLedgerFolding:
+    @staticmethod
+    def _filled(seed, n):
+        from repro.serving.registry import OutcomeLedger
+
+        gen = np.random.default_rng(seed)
+        ledger = OutcomeLedger()
+        rows = list(zip(gen.random(n) < 0.5, gen.random(n), gen.random(n) * 0.5))
+        for t, r, c in rows:
+            ledger.record(bool(t), float(r), float(c))
+        return ledger, rows
+
+    def test_pickle_roundtrip_exact_moments(self):
+        import pickle
+
+        ledger, _ = self._filled(0, 75)
+        before_net = ledger.moments("net")
+        before_rev = ledger.moments("revenue")
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.moments("net") == before_net
+        assert clone.moments("revenue") == before_rev
+        assert (clone.n, clone.n_treated) == (ledger.n, ledger.n_treated)
+        assert (clone.spend, clone.revenue) == (ledger.spend, ledger.revenue)
+        # folding a pickled replica back in doubles every raw sum
+        ledger.merge(clone)
+        assert ledger.n == 150
+        assert ledger.moments("net")[0] == before_net[0]
+
+    def test_merge_equals_sequential_recording(self):
+        from repro.serving.registry import OutcomeLedger
+
+        a, rows_a = self._filled(1, 40)
+        b, rows_b = self._filled(2, 60)
+        merged = a.merge(b)
+        assert merged is a
+        sequential = OutcomeLedger()
+        for t, r, c in rows_a + rows_b:
+            sequential.record(bool(t), float(r), float(c))
+        # raw sums fold as block additions, so the only divergence from
+        # row-by-row accumulation is float summation order (~1 ULP)
+        for metric in ("net", "revenue"):
+            got, want = a.moments(metric), sequential.moments(metric)
+            assert got[-1] == want[-1]  # counts are exact
+            assert got[:-1] == pytest.approx(want[:-1], rel=1e-12)
+        assert a.n == sequential.n and a.n_treated == sequential.n_treated
+
+    def test_merge_commutes(self):
+        a1, _ = self._filled(3, 30)
+        b1, _ = self._filled(4, 50)
+        a2, _ = self._filled(3, 30)
+        b2, _ = self._filled(4, 50)
+        assert a1.merge(b1).moments("net") == b2.merge(a2).moments("net")
+
+    def test_merge_empty_is_identity(self):
+        from repro.serving.registry import OutcomeLedger
+
+        a, _ = self._filled(5, 20)
+        before = a.moments("net")
+        a.merge(OutcomeLedger())
+        assert a.moments("net") == before
+
+
+# ---------------------------------------------------------------------------
+# Day-ahead planning (MultiDayPacer.plan_next_day + EmpiricalCurve)
+# ---------------------------------------------------------------------------
+
+
+class TestDayAheadPlanning:
+    @staticmethod
+    def _run_day(multi, n=600, seed=0):
+        gen = np.random.default_rng(seed)
+        multi.start_day()
+        for _ in range(n):
+            multi.offer(float(gen.random()), 0.2 + 0.3 * float(gen.random()))
+        pacer = multi.current
+        multi.end_day()
+        return pacer
+
+    def test_plan_sizes_from_observed_traffic(self):
+        from repro.serving.pacing import MultiDayPacer
+
+        multi = MultiDayPacer(
+            daily_budget=40.0, horizon=600, pacer_params={"refresh_every": 50}
+        )
+        day1 = self._run_day(multi)
+        plan = multi.plan_next_day(0.3)
+        assert plan.base_budget == pytest.approx(0.3 * day1.offered_cost)
+        assert plan.horizon == 600
+        curve = plan.target_curve
+        assert curve is not None
+        assert curve(0.0) == 0.0 and curve(1.0) == 1.0
+        # demand arrives uniformly here, so the empirical curve is
+        # close to the identity in the interior
+        assert curve(0.5) == pytest.approx(0.5, abs=0.1)
+
+    def test_planned_day_runs_with_planned_curve(self):
+        import pickle
+
+        from repro.serving.pacing import MultiDayPacer
+
+        multi = MultiDayPacer(
+            daily_budget=40.0, horizon=600, pacer_params={"refresh_every": 50}
+        )
+        self._run_day(multi, seed=1)
+        plan = multi.plan_next_day(0.3)
+        pacer = multi.start_day(plan.base_budget, plan.horizon, plan.target_curve)
+        assert pacer.budget == pytest.approx(plan.base_budget + multi.days[0].budget
+                                             - multi.days[0].spent)
+        pickle.loads(pickle.dumps(pacer))  # planned pacers must still ship
+        gen = np.random.default_rng(2)
+        for _ in range(600):
+            multi.offer(float(gen.random()), 0.25)
+        assert pacer.spent <= pacer.budget
+        multi.end_day()
+
+    def test_plan_without_completed_day_rejected(self):
+        from repro.serving.pacing import MultiDayPacer
+
+        multi = MultiDayPacer(daily_budget=10.0, horizon=100)
+        with pytest.raises(RuntimeError, match="completed day"):
+            multi.plan_next_day(0.3)
+        multi.start_day()
+        with pytest.raises(RuntimeError, match="completed day"):
+            multi.plan_next_day(0.3)
+
+    def test_offered_cost_tracks_all_offers(self):
+        from repro.serving.pacing import BudgetPacer
+
+        pacer = BudgetPacer(5.0, 100, refresh_every=10)
+        gen = np.random.default_rng(3)
+        costs = 0.1 + 0.2 * gen.random(100)
+        for c in costs:
+            pacer.offer(float(gen.random()), float(c))
+        # offered_cost counts admitted AND skipped offers
+        assert pacer.offered_cost == pytest.approx(float(costs.sum()))
+        assert pacer.offered_trace  # refreshes recorded the demand shape
+        n_last, c_last = pacer.offered_trace[-1]
+        assert n_last <= 100 and c_last <= pacer.offered_cost
+
+    def test_empirical_curve_validation(self):
+        from repro.serving.pacing import EmpiricalCurve
+
+        with pytest.raises(ValueError, match="span"):
+            EmpiricalCurve(np.array([0.0, 0.5]), np.array([0.0, 0.5]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            EmpiricalCurve(np.array([0.0, 0.6, 1.0]), np.array([0.0, 1.2, 1.0]))
+        with pytest.raises(ValueError, match="non-empty"):
+            EmpiricalCurve.from_trace([], 0, 0.0)
