@@ -20,8 +20,11 @@ committed ``BENCH_<area>.json`` trajectory (opt-in: set
 
 from __future__ import annotations
 
+import cProfile
 import os
+import pstats
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -264,6 +267,40 @@ def record_result(
     return path
 
 
+# ---------------------------------------------------------------------------
+# profiling (--profile)
+# ---------------------------------------------------------------------------
+def profile_dir() -> Path:
+    """Where profile dumps land: ``$REPRO_PROFILE_DIR`` or ``profiles/``."""
+    return Path(os.environ.get("REPRO_PROFILE_DIR", "profiles"))
+
+
+@contextmanager
+def profile_to(name: str):
+    """Run the body under :mod:`cProfile`, writing two artifacts.
+
+    ``<name>.pstats`` is the binary dump (load with
+    ``pstats.Stats(path)`` or feed to snakeviz/gprof2dot);
+    ``<name>.txt`` is the top of the cumulative-time table for eyeballs
+    and CI artifact browsers.  ``name`` should be filesystem-safe —
+    the conftest fixture passes the sanitised test id.
+    """
+    out = profile_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        dump = out / f"{name}.pstats"
+        profiler.dump_stats(dump)
+        with open(out / f"{name}.txt", "w") as fh:
+            stats = pstats.Stats(str(dump), stream=fh)
+            stats.sort_stats("cumulative").print_stats(40)
+        print(f"[profile] wrote {dump}")
+
+
 __all__ = [
     "BENCH_METRICS",
     "BenchCache",
@@ -277,6 +314,8 @@ __all__ = [
     "get_rdrp",
     "get_setting",
     "print_header",
+    "profile_dir",
+    "profile_to",
     "record_result",
     "run_dr",
     "run_dr_mc",

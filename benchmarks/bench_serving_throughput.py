@@ -35,9 +35,29 @@ BATCH_SIZES = (1, 32, 256)
 N_REQUESTS = 2048
 N_UNIQUE = 256  # unique rows in the cache-on stream (87.5% hit rate)
 OVERHEAD_ROUNDS = 5  # best-of rounds for the null-vs-live comparison
+N_BULK = 1 << 19  # submit_batch rows (the >= 2M scores/s target)
+N_SCALAR_REF = 1 << 15  # per-row reference stream for the bulk ratio
 
 SMOKE_N_REQUESTS = 256
 SMOKE_N_UNIQUE = 64
+SMOKE_N_BULK = 4096
+
+# areas that several tests contribute to accumulate here; the *last*
+# contributing test in file order records the merged dict as ONE
+# trajectory run (two appends per session would make the diff's
+# latest-run comparison see the first test's gated metrics as dropped)
+_SERVING_METRICS: dict[str, dict] = {}
+_SHARDED_METRICS: dict[str, dict] = {}
+
+
+class BulkLinear:
+    """Picklable constant-time scorer: isolates engine/transport cost."""
+
+    def __init__(self, w):
+        self.w = np.asarray(w, dtype=float)
+
+    def predict_roi(self, x):
+        return np.atleast_2d(np.asarray(x, dtype=float)) @ self.w
 
 
 def _requests_per_second(
@@ -94,8 +114,7 @@ def test_throughput_batch_and_cache(benchmark, smoke) -> None:
         # the cache path must not be slower than cold scoring at equal batch
         assert grid[(256, "on")][0] >= rps_256 * 0.5
 
-    record_result(
-        "serving",
+    _SERVING_METRICS.update(
         {
             "batching_leverage": {
                 "value": rps_256 / rps_1,
@@ -115,9 +134,81 @@ def test_throughput_batch_and_cache(benchmark, smoke) -> None:
             "rps_batch_1": {"value": rps_1, "unit": "req/s"},
             "rps_batch_256": {"value": rps_256, "unit": "req/s"},
             "rps_batch_256_cached": {"value": grid[(256, "on")][0], "unit": "req/s"},
-        },
-        smoke=smoke,
+        }
     )
+
+
+def test_submit_batch_throughput(benchmark, smoke) -> None:
+    """Vectorised ingest: ``submit_batch`` + ``take_block`` scores/sec.
+
+    A constant-time linear model isolates what this path is for —
+    engine overhead per request.  The scalar reference pays a Python
+    loop per row (route, id bookkeeping, buffer append); the bulk path
+    amortises all of it into slab copies and O(1) range records, which
+    is where the >= 2M scores/s batched target (asserted on >= 4-CPU
+    full runs, recorded everywhere) comes from.
+    """
+    n_bulk = SMOKE_N_BULK if smoke else N_BULK
+    n_scalar = min(n_bulk, N_SCALAR_REF)
+    chunk = 8192
+
+    def run() -> dict[str, float]:
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=8)
+        rows = rng.normal(size=(n_bulk, 8))
+        engine = ScoringEngine(BulkLinear(w), batch_size=4096, cache_size=0)
+        start = time.perf_counter()
+        blocks = [
+            engine.submit_batch(rows[i : i + chunk])
+            for i in range(0, n_bulk, chunk)
+        ]
+        engine.flush()
+        total = sum(engine.take_block(ids).size for ids in blocks)
+        bulk_elapsed = time.perf_counter() - start
+        assert total == n_bulk
+
+        scalar = ScoringEngine(BulkLinear(w), batch_size=4096, cache_size=0)
+        start = time.perf_counter()
+        ids = [scalar.submit(row) for row in rows[:n_scalar]]
+        scalar.flush()
+        for rid in ids:
+            scalar.take(rid)
+        scalar_elapsed = time.perf_counter() - start
+        return {
+            "bulk_rps": n_bulk / bulk_elapsed,
+            "scalar_rps": n_scalar / scalar_elapsed,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = out["bulk_rps"] / out["scalar_rps"]
+    cpus = os.cpu_count() or 1
+    print_header(f"submit_batch throughput — {n_bulk} rows, linear scorer")
+    print(f"  per-row submit: {out['scalar_rps']:>14,.0f} scores/s")
+    print(f"  submit_batch:   {out['bulk_rps']:>14,.0f} scores/s")
+    print(f"  bulk leverage:  {ratio:.1f}x (target >= 2M scores/s batched)")
+    if not smoke and cpus >= 4:
+        assert out["bulk_rps"] >= 2e6
+
+    _SERVING_METRICS.update(
+        {
+            # same-machine, same-process ratio: gates the fast path
+            # existing at all (falling back per-row collapses it to ~1x)
+            "bulk_over_scalar_speedup": {
+                "value": ratio,
+                "unit": "x",
+                "direction": "higher",
+                "gated": True,
+                # the magnitude swings with interpreter/BLAS versions
+                # (observed ~130x); the band only needs to catch the
+                # fast path collapsing to the per-row loop (~1x)
+                "tolerance": 0.9,
+            },
+            "submit_batch_rps": {"value": out["bulk_rps"], "unit": "scores/s"},
+            "scalar_submit_rps": {"value": out["scalar_rps"], "unit": "scores/s"},
+        }
+    )
+    record_result("serving", dict(_SERVING_METRICS), smoke=smoke)
+    _SERVING_METRICS.clear()
 
 
 def test_metrics_overhead(benchmark, smoke) -> None:
@@ -230,8 +321,7 @@ def test_sharded_fleet_throughput(benchmark, smoke) -> None:
     if not smoke and cpus >= n_shards:
         assert speedup >= 2.5
 
-    record_result(
-        "serving_sharded",
+    _SHARDED_METRICS.update(
         {
             # absolute rates and the speedup are machine-bound: a 1-CPU
             # runner records ~1x honestly, so none of them can gate
@@ -247,6 +337,79 @@ def test_sharded_fleet_throughput(benchmark, smoke) -> None:
                 "gated": True,
                 "tolerance": 0.01,
             },
-        },
-        smoke=smoke,
+        }
     )
+
+
+def test_zero_copy_dispatch(benchmark, smoke) -> None:
+    """shm vs pickled transport on the same process fleet.
+
+    Identical fleets, identical keyless ``submit_batch`` stream; the
+    only difference is how dispatches travel — feature blocks staged
+    into shared segments with scores returning through the result ring,
+    versus pickling both ways.  A constant-time linear model keeps
+    model math out of the ratio, so this measures the transport alone.
+    The >= 1.3x bar asserts only where the fleet can actually overlap
+    (>= 4 CPUs, full mode); the ratio is recorded everywhere, ungated —
+    a 1-CPU runner honestly records ~1x.
+    """
+    n_requests = (SMOKE_N_REQUESTS if smoke else N_REQUESTS) * 4
+    n_shards = 4
+    chunk = 512
+
+    def fleet_rps(transport: str, backend, rows) -> float:
+        rng = np.random.default_rng(1)
+        with ShardedScoringEngine(
+            BulkLinear(rng.normal(size=rows.shape[1])),
+            n_shards=n_shards,
+            batch_size=256,
+            cache_size=0,
+            dispatch_size=64,
+            backend=backend,
+            transport=transport,
+        ) as fleet:
+            fleet.score_batch(rows[:8])  # warm the lanes / fork workers
+            start = time.perf_counter()
+            for i in range(0, len(rows), chunk):
+                fleet.submit_batch(rows[i : i + chunk])
+            fleet.flush()
+            n_scored = len(fleet.drain())
+            elapsed = time.perf_counter() - start
+        assert n_scored == len(rows)
+        return len(rows) / elapsed
+
+    def run() -> dict[str, float]:
+        rows = np.random.default_rng(2).normal(size=(n_requests, 32))
+        backend = ProcessBackend(n_workers=n_shards)
+        try:
+            return {
+                "rps_pickle": fleet_rps("pickle", backend, rows),
+                "rps_shm": fleet_rps("shm", backend, rows),
+            }
+        finally:
+            backend.shutdown()
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = out["rps_shm"] / out["rps_pickle"]
+    cpus = os.cpu_count() or 1
+    print_header(
+        f"zero-copy dispatch — {n_requests} keyless rows, {n_shards}-shard fleet"
+    )
+    print(f"  pickled transport: {out['rps_pickle']:>12,.0f} req/s")
+    print(f"  shm transport:     {out['rps_shm']:>12,.0f} req/s")
+    print(f"  speedup: {speedup:.2f}x on a {cpus}-CPU machine "
+          f"(target >= 1.3x on >= {n_shards} CPUs)")
+    if not smoke and cpus >= n_shards:
+        assert speedup >= 1.3
+
+    _SHARDED_METRICS.update(
+        {
+            "zero_copy_dispatch_speedup": {
+                "value": speedup, "unit": "x", "direction": "higher",
+            },
+            "rps_shm_transport": {"value": out["rps_shm"], "unit": "req/s"},
+            "rps_pickle_transport": {"value": out["rps_pickle"], "unit": "req/s"},
+        }
+    )
+    record_result("serving_sharded", dict(_SHARDED_METRICS), smoke=smoke)
+    _SHARDED_METRICS.clear()

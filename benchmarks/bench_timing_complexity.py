@@ -16,8 +16,12 @@ import time
 import numpy as np
 import pytest
 
-from _harness import MC_SAMPLES, get_rdrp, get_setting, print_header
+from _harness import MC_SAMPLES, get_rdrp, get_setting, print_header, record_result
 from repro.core.rdrp import RobustDRP
+
+# metrics accumulated across the three phase tests; the last test in
+# file order records the lot as one trajectory run
+_METRICS: dict[str, dict] = {}
 
 
 def test_calibration_phase_scaling(benchmark) -> None:
@@ -42,6 +46,11 @@ def test_calibration_phase_scaling(benchmark) -> None:
         print(f"  N_cali={n_cali:<6d} {seconds * 1000:8.1f} ms")
     # quasi-linear: 4x the data should cost well under ~10x the time
     assert rows[-1][1] < rows[0][1] * 10 + 0.5
+    _METRICS["calibration_scaling_ratio"] = {
+        "value": rows[-1][1] / max(rows[0][1], 1e-9),
+        "unit": "x",
+        "direction": "lower",
+    }
 
 
 def test_inference_phase_overhead(benchmark) -> None:
@@ -69,9 +78,14 @@ def test_inference_phase_overhead(benchmark) -> None:
     print(f"  ratio rDRP/DRP = {ratio:.1f}x (T = {MC_SAMPLES} MC passes)")
     # the overhead should be on the order of T single passes (loose bound)
     assert ratio < MC_SAMPLES * 6
+    _METRICS["inference_ratio_rdrp_drp"] = {
+        "value": ratio,
+        "unit": "x",
+        "direction": "lower",
+    }
 
 
-def test_training_phase_identical(benchmark) -> None:
+def test_training_phase_identical(benchmark, smoke) -> None:
     """rDRP adds nothing at training time — it trains the same DRP."""
 
     def run() -> dict[str, float]:
@@ -97,3 +111,17 @@ def test_training_phase_identical(benchmark) -> None:
     for name, seconds in timings.items():
         print(f"  {name:<6s} {seconds:8.3f} s")
     assert timings["rDRP"] == pytest.approx(timings["DRP"], rel=1.0)
+
+    # the train-phase ratio is pinned near 1 by construction, so it is
+    # machine-portable enough to gate (at the same loose band the
+    # assertion above uses); wall-clock ratios from the earlier phase
+    # tests ride along ungated
+    _METRICS["training_ratio_rdrp_drp"] = {
+        "value": timings["rDRP"] / max(timings["DRP"], 1e-9),
+        "unit": "x",
+        "direction": "lower",
+        "gated": True,
+        "tolerance": 1.0,
+    }
+    record_result("timing_complexity", dict(_METRICS), smoke=smoke)
+    _METRICS.clear()

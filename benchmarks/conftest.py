@@ -19,3 +19,42 @@ sys.path.insert(0, str(Path(__file__).parent))
 def smoke(request) -> bool:
     """True when ``--smoke`` was passed: tiny sizes, no perf assertions."""
     return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(autouse=True)
+def _profile_bench(request):
+    """With ``--profile``, run each ``benchmark.pedantic`` target under
+    cProfile.
+
+    The profiler must start and stop *inside* the plugin's timing
+    window: pytest-benchmark's ``PauseInstrumentation`` snapshots
+    ``sys.getprofile()`` around the run and cannot restore a live
+    ``cProfile.Profile``, so wrapping the whole test would break it.
+    Wrapping only the target keeps both happy.  One
+    ``<test-id>.pstats`` + ``.txt`` pair per pedantic call lands in
+    ``profiles/`` (or ``$REPRO_PROFILE_DIR``); CI's bench-smoke job
+    uploads the directory as an artifact, so the hot-path evidence
+    behind a perf number travels with the run that produced it.
+    """
+    if not request.config.getoption("--profile") or "benchmark" not in request.fixturenames:
+        yield
+        return
+    from _harness import profile_to
+
+    bench = request.getfixturevalue("benchmark")
+    original = bench.pedantic
+    safe = request.node.nodeid.replace("/", "_").replace("::", "-")
+    calls = iter(range(1000))
+
+    def pedantic(target, *args, **kwargs):
+        i = next(calls)
+        name = safe if i == 0 else f"{safe}-{i}"
+
+        def wrapped(*targs, **tkwargs):
+            with profile_to(name):
+                return target(*targs, **tkwargs)
+
+        return original(wrapped, *args, **kwargs)
+
+    bench.pedantic = pedantic
+    yield

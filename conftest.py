@@ -1,13 +1,16 @@
 """Repo-level pytest configuration.
 
-Defines the ``--smoke`` option here (the rootdir conftest) so it is
-registered whether pytest is invoked on the whole repo, ``tests/``, or
-a single ``benchmarks/bench_*.py`` file.  Benchmarks read it through
-the ``smoke`` fixture in ``benchmarks/conftest.py``: smoke mode shrinks
-sizes to seconds and skips wall-clock assertions, so CI can execute
-every perf script on every push without timing flakiness — the scripts
-can't silently rot even when their full-size numbers are only checked
-locally.
+Defines the ``--smoke`` and ``--profile`` options here (the rootdir
+conftest) so they are registered whether pytest is invoked on the whole
+repo, ``tests/``, or a single ``benchmarks/bench_*.py`` file.
+Benchmarks read them through the ``smoke`` / profiling fixtures in
+``benchmarks/conftest.py``: smoke mode shrinks sizes to seconds and
+skips wall-clock assertions, so CI can execute every perf script on
+every push without timing flakiness — the scripts can't silently rot
+even when their full-size numbers are only checked locally.
+``--profile`` wraps each benchmark test in :mod:`cProfile` and writes a
+``pstats`` dump plus a cumulative-time text summary per test (see
+``benchmarks/_harness.py:profile_to``), which CI uploads as artifacts.
 """
 
 
@@ -17,4 +20,11 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run benchmarks at tiny sizes (correctness only, no perf assertions)",
+    )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="profile each benchmark test with cProfile, writing pstats dumps "
+        "to profiles/ (or $REPRO_PROFILE_DIR)",
     )

@@ -23,7 +23,8 @@ def _check_uniforms(u: np.ndarray | None, n: int, name: str) -> np.ndarray | Non
     u = np.asarray(u, dtype=float).ravel()
     if u.shape[0] != n:
         raise ValueError(f"{name} must have one value per cohort user ({n}), got {u.shape[0]}")
-    if not np.all((u >= 0.0) & (u < 1.0)):
+    # two reductions, no bool temporaries; NaN fails both comparisons
+    if not (u.min(initial=0.0) >= 0.0 and u.max(initial=0.0) < 1.0):
         raise ValueError(f"{name} must be uniforms in [0, 1)")
     return u
 
@@ -38,7 +39,11 @@ def _check_arm_indices(order: np.ndarray, n: int) -> None:
         return
     if int(order.min()) < 0 or int(order.max()) >= n:
         raise ValueError("treat_order indices out of range — must be a permutation subset of the cohort indices")
-    if int(np.bincount(order, minlength=n).max()) > 1:
+    # duplicate check by bool scatter: one n-byte array instead of
+    # bincount's 8n-byte count vector, same O(n)
+    seen = np.zeros(n, dtype=bool)
+    seen[order] = True
+    if int(np.count_nonzero(seen)) != order.size:
         raise ValueError("treat_order repeats cohort indices — arms must be a permutation / disjoint")
 
 
@@ -179,10 +184,14 @@ class Platform:
             cohort = self._draw_cohort_chunked(
                 n, parallel=parallel, n_workers=n_workers, backend=backend
             )
-        # deterministic day-of-week multiplier on the effects
+        # deterministic day-of-week multiplier on the effects, applied
+        # in place — the cohort's arrays are freshly generated (or
+        # views of freshly generated chunks), so nothing else sees them
         multiplier = 1.0 + self.day_effect * np.sin(2.0 * np.pi * day / 7.0)
-        cohort.tau_r = np.clip(cohort.tau_r * multiplier, 1e-6, None)
-        cohort.tau_c = np.clip(cohort.tau_c * multiplier, 1e-6, None)
+        np.multiply(cohort.tau_r, multiplier, out=cohort.tau_r)
+        np.clip(cohort.tau_r, 1e-6, None, out=cohort.tau_r)
+        np.multiply(cohort.tau_c, multiplier, out=cohort.tau_c)
+        np.clip(cohort.tau_c, 1e-6, None, out=cohort.tau_c)
         if self.drift_day is not None and day >= self.drift_day:
             cohort = concept_drift(cohort, strength=self.drift_strength)
         return cohort
@@ -293,9 +302,10 @@ class Platform:
                     break
         overshoot = have - n
         if overshoot > 0:
-            # trim the tail chunk so concat materialises exactly n rows
-            parts[-1] = parts[-1].subset(np.arange(parts[-1].n - overshoot))
-        return RCTDataset.concat(parts)
+            # trim the tail chunk by view — concat copies (or, single
+            # part, the chunk is private), so no bytes move here
+            parts[-1] = parts[-1].head(parts[-1].n - overshoot)
+        return RCTDataset.concat(parts, copy=False)
 
     def iter_events(
         self,
@@ -440,9 +450,13 @@ class Platform:
         reward_u = _check_uniforms(reward_uniforms, n, "reward_uniforms")
         orders = [np.asarray(o, dtype=np.int64).ravel() for o in orders]
         sizes = np.array([o.shape[0] for o in orders], dtype=np.int64)
-        order_all = (
-            np.concatenate(orders) if orders else np.empty(0, dtype=np.int64)
-        )
+        # single-arm days (realize_arm's path) skip the concat copy
+        if len(orders) == 1:
+            order_all = orders[0]
+        elif orders:
+            order_all = np.concatenate(orders)
+        else:
+            order_all = np.empty(0, dtype=np.int64)
         _check_arm_indices(order_all, n)
 
         # one per-user uniform tensor realises every arm's costs
@@ -478,11 +492,12 @@ class Platform:
             )
 
         # batched reward draw over the union of treated users
-        treated_all = (
-            np.concatenate(treated_parts)
-            if treated_parts
-            else np.empty(0, dtype=np.int64)
-        )
+        if len(treated_parts) == 1:
+            treated_all = treated_parts[0]
+        elif treated_parts:
+            treated_all = np.concatenate(treated_parts)
+        else:
+            treated_all = np.empty(0, dtype=np.int64)
         if reward_u is None:
             reward_u = self._rng.random(n)
         reward_draw = reward_u[treated_all] < cohort.tau_r[treated_all]

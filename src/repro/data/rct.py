@@ -73,18 +73,27 @@ class RCTDataset:
         return int(np.sum(self.t == 0))
 
     @classmethod
-    def concat(cls, parts: "list[RCTDataset] | tuple[RCTDataset, ...]") -> "RCTDataset":
+    def concat(
+        cls,
+        parts: "list[RCTDataset] | tuple[RCTDataset, ...]",
+        copy: bool = True,
+    ) -> "RCTDataset":
         """Row-wise concatenation of compatible samples.
 
         The building block of chunked cohort generation: draw bounded
         chunks, keep what each yields, and stitch the kept rows.  The
         parts and the output coexist while concatenating (peak ~2x the
         output), but never a multiple-``n`` oversample pool.
+
+        ``copy=False`` lets a single part pass through untouched — the
+        zero-copy path for callers (like chunked cohort assembly) whose
+        parts are private anyway.  Multi-part concatenation always
+        materialises fresh arrays.
         """
         if not parts:
             raise ValueError("concat needs at least one dataset")
         if len(parts) == 1:
-            return parts[0].subset(np.arange(parts[0].n))
+            return parts[0] if not copy else parts[0].subset(np.arange(parts[0].n))
         first = parts[0]
         for p in parts[1:]:
             if p.n_features != first.n_features:
@@ -102,6 +111,29 @@ class RCTDataset:
             roi=np.concatenate([p.roi for p in parts]),
             name=first.name,
             feature_names=list(first.feature_names),
+        )
+
+    def head(self, k: int) -> "RCTDataset":
+        """The first ``k`` rows as zero-copy *views* of this dataset.
+
+        The cheap spelling of ``subset(np.arange(k))`` for tail trims:
+        no bytes move.  The result aliases this dataset's arrays —
+        writes through either are visible in both — so use it only
+        where one of the two is immediately discarded (chunk assembly)
+        or both stay read-only.
+        """
+        if not 0 <= k <= self.n:
+            raise ValueError(f"k must be in [0, {self.n}], got {k}")
+        return RCTDataset(
+            x=self.x[:k],
+            t=self.t[:k],
+            y_r=self.y_r[:k],
+            y_c=self.y_c[:k],
+            tau_r=self.tau_r[:k],
+            tau_c=self.tau_c[:k],
+            roi=self.roi[:k],
+            name=self.name,
+            feature_names=list(self.feature_names),
         )
 
     def subset(self, idx: np.ndarray) -> "RCTDataset":

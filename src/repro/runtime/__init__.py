@@ -15,8 +15,14 @@ scaling feature kept reinventing privately:
   deadlines that make latency guarantees (flush at ``max_latency_ms``)
   testable under simulated time.
 
-Everything here is dependency-free within the library (it imports
-nothing from other ``repro`` subpackages) so any layer may build on it.
+A third concern joined in the zero-copy pass: **how bytes move** —
+:class:`SharedTensorPool` / :class:`SharedTensor` /
+:class:`SharedScoreCache` (``repro.runtime.shm``), named ref-counted
+shared-memory numpy segments with an explicit create/attach/release
+lifecycle, the transport under the process-backed serving fleet.
+
+Everything here depends only on ``repro.obs`` (itself stdlib-only),
+so any layer may build on it.
 """
 
 from repro.runtime.backend import (
@@ -27,6 +33,7 @@ from repro.runtime.backend import (
     resolve_n_workers,
 )
 from repro.runtime.clock import Clock, DeadlineLoop, ManualClock, SystemClock
+from repro.runtime.shm import SharedScoreCache, SharedTensor, SharedTensorPool, live_segment_count
 
 __all__ = [
     "Clock",
@@ -35,7 +42,11 @@ __all__ = [
     "ManualClock",
     "ProcessBackend",
     "SerialBackend",
+    "SharedScoreCache",
+    "SharedTensor",
+    "SharedTensorPool",
     "SystemClock",
     "ThreadBackend",
+    "live_segment_count",
     "resolve_n_workers",
 ]

@@ -1,0 +1,419 @@
+"""Shared-memory tensors: the zero-copy transport under the serving fleet.
+
+A :class:`~repro.serving.sharding.ShardedScoringEngine` on a
+:class:`~repro.runtime.ProcessBackend` used to pickle every feature
+block onto its shard's lane and pickle every score list back — at
+production batch sizes the fleet's wall clock was serialization, not
+model math.  This module is the transport that removes it:
+
+* :class:`SharedTensorPool` — named, ref-counted numpy segments over
+  :mod:`multiprocessing.shared_memory` with an explicit lifecycle:
+  ``create`` (owner side), ``attach`` (any process that knows the
+  name), ``release`` (close; the *creator's* final release unlinks).
+  The lifecycle rule mirrors the backend rule the runtime layer
+  already enforces: **whoever creates a segment releases it** —
+  attachers only ever close their own mapping.  ``shutdown()`` (and a
+  registered ``atexit`` hook, counting into ``shm.segments_leaked``)
+  sweep anything still open, so a crashed fleet cannot strand kernel
+  objects in ``/dev/shm``.
+* :class:`SharedTensor` — one segment viewed as a numpy array.  The
+  array *is* the segment: a parent writing rows into it and a worker
+  reading them shares physical pages, no copies in between.
+* :class:`SharedScoreCache` — a fixed-capacity open-addressing score
+  table in one segment, keyed by a 64-bit ``blake2b`` tag of
+  ``(version, row bytes)``.  Every shard of a process fleet attaches
+  the same table, so a score cached by any shard is a hit on all of
+  them without a byte of pickling.  Writes are torn-write safe
+  (tag is cleared before the score is written and re-checked after
+  reading); eviction is probe-window replacement, not strict LRU —
+  the cache is a performance object, never a correctness one, because
+  a scored ``(version, row)`` pair always maps to the same float.
+
+Observability: every pool owns real counters/gauges (``shm.*``) and a
+:class:`~repro.obs.MetricsRegistry` passed in only *collects* them —
+the same adopt-don't-create contract the rest of the stack uses.
+Tests pin the hygiene half: after a fleet shuts down (cleanly, after a
+mid-flight exception, or with a dead worker) ``live_segment_count()``
+is 0 and the leak counter never moved.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import sys
+import threading
+from hashlib import blake2b
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.obs import NULL_REGISTRY, Counter, Gauge, MetricsRegistry
+
+__all__ = [
+    "SharedScoreCache",
+    "SharedTensor",
+    "SharedTensorPool",
+    "live_segment_count",
+]
+
+# every live pool in this process, for the atexit sweep and the
+# process-wide live_segment_count() the hygiene tests read
+_LIVE_POOLS: "set[SharedTensorPool]" = set()
+_LIVE_POOLS_LOCK = threading.Lock()
+
+_TRACK_KWARG = sys.version_info >= (3, 13)
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without adopting ownership of it.
+
+    Python's ``resource_tracker`` assumes whoever opens a segment owns
+    it and unlinks anything still registered when the process exits —
+    which would let a short-lived worker destroy the parent's live
+    transport.  Attachers must therefore opt out of tracking: 3.13+
+    has ``track=False``.  Earlier interpreters need a subtler idiom
+    than the well-known attach-then-``unregister``: forked workers
+    share the *parent's* tracker process, so a worker's unregister
+    would delete the registration the creating parent depends on for
+    crash cleanup.  Instead, suppress the registration itself for the
+    duration of the attach (guarded by a lock — the patch is
+    process-global state).
+    """
+    if _TRACK_KWARG:
+        return shared_memory.SharedMemory(name=name, track=False)
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def live_segment_count() -> int:
+    """Open segments across every pool in this process (the leak probe)."""
+    with _LIVE_POOLS_LOCK:
+        return sum(pool.live_segments for pool in _LIVE_POOLS)
+
+
+@atexit.register
+def _sweep_at_exit() -> None:
+    """Last-resort cleanup: release whatever explicit shutdown missed."""
+    with _LIVE_POOLS_LOCK:
+        pools = list(_LIVE_POOLS)
+    for pool in pools:
+        pool._sweep_leaked()
+
+
+class SharedTensor:
+    """One shared-memory segment viewed as a numpy array.
+
+    Handles are pool-issued (:meth:`SharedTensorPool.create` /
+    :meth:`~SharedTensorPool.attach`) and released through the pool;
+    the object itself is a name + a typed view, cheap to hold.  The
+    buffer outlives nothing: touching :attr:`array` after the segment
+    was released is a use-after-free, exactly like any mmap.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "owner", "_segment", "_array")
+
+    def __init__(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        segment: shared_memory.SharedMemory,
+        owner: bool,
+    ) -> None:
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self._segment = segment
+        self._array = np.ndarray(self.shape, dtype=self.dtype, buffer=segment.buf)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The live numpy view over the segment's pages."""
+        return self._array
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._array.nbytes)
+
+    def descriptor(self) -> tuple[str, tuple[int, ...], str]:
+        """``(name, shape, dtype_str)`` — everything an attacher needs."""
+        return (self.name, self.shape, self.dtype.str)
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "attached"
+        return f"SharedTensor({self.name!r}, shape={self.shape}, {role})"
+
+
+class SharedTensorPool:
+    """Create, attach, and release named shared-memory numpy segments.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to export the pool's
+        ``shm.*`` metrics into (``None`` keeps them pool-local, the
+        usual no-op-registry contract).
+    prefix:
+        Segment-name prefix; names are ``<prefix>-<pid>-<nonce>`` so
+        concurrent pools (and test re-runs) never collide.
+
+    Lifecycle
+    ---------
+    ``create`` allocates and owns; ``attach`` opens by name and only
+    ever closes its own mapping; ``release`` drops one reference and,
+    on the owner's final release, unlinks the kernel object.
+    ``shutdown()`` releases everything still open (idempotent, also
+    the context-manager exit), and an ``atexit`` sweep catches pools
+    that never got one — counting each swept segment into
+    ``shm.segments_leaked`` so hygiene regressions are visible, not
+    silent.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None, prefix: str = "repro") -> None:
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._prefix = prefix
+        # name -> [SharedTensor, refcount]
+        self._segments: dict[str, list] = {}
+        self._lock = threading.Lock()
+        self._c_created = self.metrics.adopt(Counter("shm.segments_created"))
+        self._c_attached = self.metrics.adopt(Counter("shm.segments_attached"))
+        self._c_released = self.metrics.adopt(Counter("shm.segments_released"))
+        self._c_leaked = self.metrics.adopt(Counter("shm.segments_leaked"))
+        self._g_live = self.metrics.adopt(Gauge("shm.live_segments"))
+        self._g_bytes = self.metrics.adopt(Gauge("shm.live_bytes"))
+        with _LIVE_POOLS_LOCK:
+            _LIVE_POOLS.add(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def create(self, shape: tuple[int, ...], dtype=np.float64) -> SharedTensor:
+        """Allocate a fresh zero-filled segment this pool owns."""
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        name = f"{self._prefix}-{os.getpid()}-{secrets.token_hex(4)}"
+        segment = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        tensor = SharedTensor(segment.name, tuple(shape), dtype, segment, owner=True)
+        with self._lock:
+            self._segments[tensor.name] = [tensor, 1]
+        self._c_created.inc()
+        self._update_gauges()
+        return tensor
+
+    def attach(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> SharedTensor:
+        """Open an existing segment by descriptor (ref-counted per name)."""
+        with self._lock:
+            entry = self._segments.get(name)
+            if entry is not None:
+                entry[1] += 1
+                self._c_attached.inc()
+                return entry[0]
+        segment = _attach_segment(name)
+        tensor = SharedTensor(name, tuple(shape), np.dtype(dtype), segment, owner=False)
+        with self._lock:
+            self._segments[name] = [tensor, 1]
+        self._c_attached.inc()
+        self._update_gauges()
+        return tensor
+
+    def release(self, name: str) -> bool:
+        """Drop one reference; the last reference closes (and, for the
+        owner, unlinks) the segment.  Unknown names are a no-op —
+        release is idempotent so error paths can sweep freely."""
+        with self._lock:
+            entry = self._segments.get(name)
+            if entry is None:
+                return False
+            entry[1] -= 1
+            if entry[1] > 0:
+                return True
+            del self._segments[name]
+        self._close_tensor(entry[0])
+        self._c_released.inc()
+        self._update_gauges()
+        return True
+
+    def shutdown(self) -> int:
+        """Release every segment still open; returns how many were."""
+        with self._lock:
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for tensor, _refs in entries:
+            self._close_tensor(tensor)
+            self._c_released.inc()
+        self._update_gauges()
+        return len(entries)
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` + deregistration from the atexit sweep."""
+        self.shutdown()
+        with _LIVE_POOLS_LOCK:
+            _LIVE_POOLS.discard(self)
+
+    def _sweep_leaked(self) -> None:
+        """atexit path: anything still open here was leaked by its owner."""
+        with self._lock:
+            entries = list(self._segments.values())
+            self._segments.clear()
+        for tensor, _refs in entries:
+            self._close_tensor(tensor)
+            self._c_released.inc()
+            self._c_leaked.inc()
+        self._update_gauges()
+
+    @staticmethod
+    def _close_tensor(tensor: SharedTensor) -> None:
+        # drop the numpy view first: SharedMemory.close() refuses while
+        # exported buffers are alive
+        tensor._array = None  # noqa: SLF001
+        try:
+            tensor._segment.close()  # noqa: SLF001
+        except BufferError:  # pragma: no cover - view still referenced elsewhere
+            return
+        if tensor.owner:
+            try:
+                tensor._segment.unlink()  # noqa: SLF001
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def live_segments(self) -> int:
+        """Segments this pool currently holds open (the leak counter's
+        complement: a clean shutdown drives this to 0)."""
+        with self._lock:
+            return len(self._segments)
+
+    @property
+    def live_bytes(self) -> int:
+        with self._lock:
+            return sum(entry[0].nbytes for entry in self._segments.values())
+
+    @property
+    def leaked_segments(self) -> int:
+        """Segments the atexit sweep had to clean up (0 in healthy runs)."""
+        return int(self._c_leaked.value)
+
+    def _update_gauges(self) -> None:
+        self._g_live.set(self.live_segments)
+        self._g_bytes.set(self.live_bytes)
+
+    def __enter__(self) -> "SharedTensorPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SharedTensorPool(live={self.live_segments}, prefix={self._prefix!r})"
+
+
+# ---------------------------------------------------------------------------
+# the fleet-wide score cache
+# ---------------------------------------------------------------------------
+_EMPTY_TAG = np.uint64(0)
+_PROBE_WINDOW = 8
+
+
+class SharedScoreCache:
+    """A fixed-capacity score table every shard of a fleet shares.
+
+    One segment of ``(slots, 2)`` float64: column 0 reinterpreted as a
+    ``uint64`` tag (``blake2b(version || row bytes)``, never 0 — 0
+    means *empty*), column 1 the cached score.  ``get``/``put`` probe a
+    short linear window from ``tag % slots``:
+
+    * lock-free reads: a reader accepts a score only when the tag read
+      *before* and *after* the score load agree — a torn concurrent
+      overwrite is detected and treated as a miss;
+    * writes clear the tag first, store the score, then publish the
+      tag, so no reader can pair a new tag with an old score;
+    * a full probe window evicts a tag-derived slot (probe-window
+      replacement).  Not strict LRU — but a cache entry here is a pure
+      function of its key, so replacement policy affects hit rate
+      only, never results.
+
+    Use :meth:`create` on the fleet parent and :meth:`attach` (with the
+    parent's descriptor) inside each shard process; both sides go
+    through a :class:`SharedTensorPool`, so hygiene accounting covers
+    the cache like any other segment.
+    """
+
+    def __init__(self, tensor: SharedTensor, slots: int) -> None:
+        if slots < _PROBE_WINDOW:
+            raise ValueError(f"slots must be >= {_PROBE_WINDOW}, got {slots}")
+        self.tensor = tensor
+        self.slots = int(slots)
+        table = tensor.array
+        self._tags = table[:, 0].view(np.uint64)
+        self._scores = table[:, 1]
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, pool: SharedTensorPool, slots: int) -> "SharedScoreCache":
+        tensor = pool.create((int(slots), 2), dtype=np.float64)
+        return cls(tensor, slots)  # freshly created segments are zeroed
+
+    @classmethod
+    def attach(cls, pool: SharedTensorPool, name: str, slots: int) -> "SharedScoreCache":
+        return cls(pool.attach(name, (int(slots), 2), dtype=np.float64), slots)
+
+    def descriptor(self) -> tuple[str, int]:
+        return (self.tensor.name, self.slots)
+
+    # -- the table ------------------------------------------------------
+    @staticmethod
+    def tag_of(version: int, row_bytes: bytes) -> int:
+        digest = blake2b(row_bytes, digest_size=8, salt=version.to_bytes(8, "little"))
+        tag = int.from_bytes(digest.digest(), "little")
+        return tag or 1  # 0 is the empty marker
+
+    def get(self, version: int, row_bytes: bytes) -> float | None:
+        tag = np.uint64(self.tag_of(version, row_bytes))
+        tags, scores = self._tags, self._scores
+        base = int(tag) % self.slots
+        for probe in range(_PROBE_WINDOW):
+            i = (base + probe) % self.slots
+            seen = tags[i]
+            if seen == _EMPTY_TAG:
+                return None  # slots fill front-to-back; an empty slot ends the chain
+            if seen == tag:
+                score = float(scores[i])
+                if tags[i] == tag:  # no concurrent overwrite mid-read
+                    return score
+                return None
+        return None
+
+    def put(self, version: int, row_bytes: bytes, score: float) -> None:
+        tag = np.uint64(self.tag_of(version, row_bytes))
+        tags, scores = self._tags, self._scores
+        base = int(tag) % self.slots
+        victim = None
+        for probe in range(_PROBE_WINDOW):
+            i = (base + probe) % self.slots
+            seen = tags[i]
+            if seen == tag:
+                return  # same key ⇒ same score; nothing to update
+            if seen == _EMPTY_TAG:
+                victim = i
+                break
+        if victim is None:
+            # window full: evict a tag-derived slot (deterministic, spread)
+            victim = (base + (int(tag) >> 56) % _PROBE_WINDOW) % self.slots
+        tags[victim] = _EMPTY_TAG  # unpublish before the score store
+        scores[victim] = score
+        tags[victim] = tag
+
+    def __repr__(self) -> str:
+        return f"SharedScoreCache(slots={self.slots}, segment={self.tensor.name!r})"

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass
+from itertools import repeat
 
 import numpy as np
 
@@ -86,6 +87,84 @@ def _score_rows(policy: DecisionPolicy, model: object, rows: np.ndarray) -> np.n
     return policy.score_batch(model, rows)
 
 
+class _PendingBlock:
+    """One version's buffered requests, stored columnar.
+
+    A preallocated ``(cap, d)`` feature block plus an aligned request-id
+    vector, grown geometrically — the flush slices **one contiguous
+    array** instead of stacking a deque of per-row copies.  The block
+    object travels whole into the in-flight queue when dispatched (a
+    fresh block starts the next batch), so the view handed to the
+    backend can never alias rows appended later.
+
+    ``record`` / ``mixed`` are the fast-path bookkeeping: a block fed
+    only by ``submit_batch`` slices carries one :class:`_RidRange`
+    covering its (contiguous) ids, letting the reap skip per-rid dict
+    writes entirely; any scalar ``submit`` landing on the block flips
+    ``mixed`` and the reap degrades to exact per-rid accounting.
+    """
+
+    __slots__ = ("rows", "rids", "n", "record", "mixed")
+
+    def __init__(self, d: int, cap: int) -> None:
+        cap = max(1, cap)
+        self.rows = np.empty((cap, d), dtype=float)
+        self.rids = np.empty(cap, dtype=np.int64)
+        self.n = 0
+        self.record: _RidRange | None = None
+        self.mixed = False
+
+    def _grow_to(self, need: int) -> None:
+        cap = self.rows.shape[0]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        self.rows = np.concatenate([self.rows, np.empty((cap - self.rows.shape[0], self.rows.shape[1]))])
+        self.rids = np.concatenate([self.rids, np.empty(cap - self.rids.shape[0], dtype=np.int64)])
+
+    def append(self, rid: int, row: np.ndarray) -> None:
+        if self.record is not None:
+            self.mixed = True
+        self._grow_to(self.n + 1)
+        self.rows[self.n] = row
+        self.rids[self.n] = rid
+        self.n += 1
+
+    def append_block(self, rids: np.ndarray, block: np.ndarray) -> None:
+        take = block.shape[0]
+        self._grow_to(self.n + take)
+        self.rows[self.n : self.n + take] = block
+        self.rids[self.n : self.n + take] = rids
+        self.n += take
+
+    def view(self) -> np.ndarray:
+        """The buffered rows as one contiguous slice (no copy)."""
+        return self.rows[: self.n]
+
+
+class _RidRange:
+    """One contiguous run of fast-path request ids, bookkept as a range.
+
+    ``submit_batch``'s vectorised path never touches the per-rid dicts
+    on submit *or* on reap: the block's ids are ``[start, stop)``, the
+    version is single, the submit stamp is single, and once scored the
+    whole result array hangs off :attr:`scores`.  ``take_block`` then
+    pops an entire record in O(1); only callers probing individual ids
+    (``take``/``version_of``) force a lazy materialisation into the
+    dicts — pay-per-use, never on the block path.
+    """
+
+    __slots__ = ("start", "stop", "version_id", "scores", "submitted_at")
+
+    def __init__(self, start: int, stop: int, version_id: int, submitted_at: float | None) -> None:
+        self.start = start
+        self.stop = stop
+        self.version_id = version_id
+        self.scores: np.ndarray | None = None
+        self.submitted_at = submitted_at
+
+
 @dataclass
 class EngineCore:
     """The picklable half of a scoring engine: state, not plumbing.
@@ -114,6 +193,7 @@ class EngineCore:
         clock: Clock | None = None,
         backend: ExecutionBackend | None = None,
         metrics: MetricsRegistry | None = None,
+        score_cache: object | None = None,
     ) -> "ScoringEngine":
         """Reconstitute a live engine around this core."""
         return ScoringEngine(
@@ -126,6 +206,7 @@ class EngineCore:
             backend=backend,
             latency_log_size=self.latency_log_size,
             metrics=metrics,
+            score_cache=score_cache,
         )
 
 
@@ -184,6 +265,16 @@ class ScoringEngine:
         engine (a second engine adopting into the same registry
         replaces the first's metrics); shard-level registries merge
         via :meth:`~repro.obs.Snapshot.merge`.
+    score_cache:
+        Pluggable score-cache backend: an object with
+        ``get(version, row_bytes) -> float | None`` and
+        ``put(version, row_bytes, score)`` (the
+        :class:`~repro.runtime.SharedScoreCache` contract).  ``None``
+        (default) keeps the engine's private LRU dict.  ``cache_size``
+        still gates whether caching happens at all (``0`` disables the
+        probe either way); capacity/eviction of an external cache are
+        its own — a shared fixed-capacity table is what the sharded
+        fleet plugs in so a hit on any shard is a hit on all.
     """
 
     def __init__(
@@ -197,6 +288,7 @@ class ScoringEngine:
         backend: ExecutionBackend | None = None,
         latency_log_size: int | None = 1_000_000,
         metrics: MetricsRegistry | None = None,
+        score_cache: object | None = None,
     ) -> None:
         if isinstance(models, ModelRegistry):
             self.registry = models
@@ -223,17 +315,21 @@ class ScoringEngine:
             DeadlineLoop(clock) if (clock is not None and max_latency_ms is not None) else None
         )
         self._cache: OrderedDict[tuple[int, bytes], float] = OrderedDict()
-        # pending rows grouped by model version: version -> [(rid, row)]
-        self._pending: dict[int, list[tuple[int, np.ndarray]]] = {}
+        self._score_cache = score_cache
+        # pending rows grouped by model version, stored columnar:
+        # version -> _PendingBlock (rows + rids, one contiguous slab)
+        self._pending: dict[int, _PendingBlock] = {}
         self._n_pending = 0
         # dispatched-but-unreaped batches, in dispatch order; the dict
         # holds the clock time the batch's scoring completed (stamped
         # by a done-callback, so async batches measure true completion
         # rather than whenever the caller happens to reap)
-        self._inflight: deque[
-            tuple[object, int, list[tuple[int, np.ndarray]], dict]
-        ] = deque()
+        self._inflight: deque[tuple[object, int, _PendingBlock, dict]] = deque()
         self._ready: dict[int, float] = {}
+        # fast-path id runs (pending, in-flight, or scored), oldest
+        # first; scan is linear but the list holds one entry per
+        # undrained submit_batch block, not per request
+        self._ranges: list[_RidRange] = []
         self._submitted_at: dict[int, float] = {}
         # rid -> registry version whose score serves the request
         # (cache hits included); alive from submit until take
@@ -290,10 +386,8 @@ class ScoringEngine:
         version = self.registry.route(key)
         self._version_by_rid[rid] = version.version
         if self.cache_size > 0:
-            cache_key = (version.version, row.tobytes())
-            hit = self._cache.get(cache_key)
+            hit = self._cache_probe(version.version, row.tobytes())
             if hit is not None:
-                self._cache.move_to_end(cache_key)
                 self._c_cache_hits.inc()
                 version.cache_hits += 1
                 self._ready[rid] = hit
@@ -303,7 +397,12 @@ class ScoringEngine:
         self._c_cache_misses.inc()
         if self.clock is not None:
             self._submitted_at[rid] = self.clock.now()
-        self._pending.setdefault(version.version, []).append((rid, row))
+        block = self._pending.get(version.version)
+        if block is None:
+            block = self._pending[version.version] = _PendingBlock(
+                row.shape[0], min(self.batch_size, 64)
+            )
+        block.append(rid, row)
         self._n_pending += 1
         self._g_queue.set(self._n_pending)
         if self._n_pending == 1 and self._deadlines is not None:
@@ -313,6 +412,99 @@ class ScoringEngine:
         if self._n_pending >= self.batch_size:
             self.flush(reason="batch_full")
         return rid
+
+    def submit_batch(
+        self, x: np.ndarray, keys: "list[str | int] | None" = None
+    ) -> "list[int] | range":
+        """Enqueue a block of requests; returns their ids in row order
+        (a ``range`` on the fast path, a list otherwise — both are
+        sequences of ints; hand either to :meth:`take_block`).
+
+        Semantically **exactly** N :meth:`submit` calls — same scores,
+        stats, cache hits, version attribution, flush counters, and
+        latency sketch (pinned under a
+        :class:`~repro.runtime.ManualClock`; under a wall clock the
+        per-row submit stamps drift apart by however long N calls
+        take, which a single block stamp legitimately doesn't).  The
+        difference is the constant factor: when the registry's routing
+        is static (:attr:`~repro.serving.registry.ModelRegistry.
+        routing_is_static`) and the cache is off, the block takes a
+        vectorised fast path — one route call, one clock stamp,
+        C-level id bookkeeping, and rows landing in the columnar
+        buffer as slab copies — which is what the ≥2M scores/s batched
+        target is measured on.  With a cache or an active challenger
+        the rows fall back to the per-row loop (each row must probe /
+        draw exactly as ``submit`` would).
+
+        Mid-block ``batch_size`` boundaries flush exactly as they
+        would per-row, so flush counters and batch shapes are
+        identical to the scalar path.
+        """
+        x = np.ascontiguousarray(np.asarray(x, dtype=float))
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        n = x.shape[0]
+        if keys is not None and len(keys) != n:
+            raise ValueError(f"got {len(keys)} keys for {n} rows")
+        if n == 0:
+            return []
+        if self.cache_size > 0 or not self.registry.routing_is_static:
+            # per-row semantics genuinely needed: cache probes and RNG
+            # routing must happen once per row, in order
+            if keys is None:
+                return [self.submit(x[i]) for i in range(n)]
+            return [self.submit(x[i], key=keys[i]) for i in range(n)]
+        # ---- vectorised fast path ----------------------------------
+        if self._deadlines is not None:
+            self._deadlines.poll()
+        version = self.registry.route(None)  # static: champion, no RNG
+        vid = version.version
+        rid0 = self._next_id
+        self._next_id += n
+        self._c_requests.inc(n)
+        self._c_cache_misses.inc(n)
+        now = self.clock.now() if self.clock is not None else None
+        start = 0
+        while start < n:
+            # stop at every batch_size boundary exactly as the scalar
+            # path would (flush counters stay identical)
+            take = min(max(self.batch_size - self._n_pending, 1), n - start)
+            slice_rid0 = rid0 + start
+            block = self._pending.get(vid)
+            if block is None:
+                block = self._pending[vid] = _PendingBlock(
+                    x.shape[1], min(self.batch_size, max(take, 64))
+                )
+            rec = block.record
+            if rec is not None and not block.mixed and rec.stop == slice_rid0:
+                rec.stop += take  # same block, contiguous ids: extend
+            elif rec is None and not block.mixed and block.n == 0:
+                rec = block.record = _RidRange(slice_rid0, slice_rid0 + take, vid, now)
+                self._ranges.append(rec)
+            else:
+                # the block already holds scalar rows (or ids that are
+                # no longer contiguous) — bookkeep this slice per-rid
+                # so the reap's exact path covers everything
+                slice_ids = range(slice_rid0, slice_rid0 + take)
+                self._version_by_rid.update(zip(slice_ids, repeat(vid)))
+                if now is not None:
+                    self._submitted_at.update(zip(slice_ids, repeat(now)))
+                block.mixed = True
+            was_empty = self._n_pending == 0
+            block.append_block(
+                np.arange(slice_rid0, slice_rid0 + take, dtype=np.int64),
+                x[start : start + take],
+            )
+            self._n_pending += take
+            start += take
+            if was_empty and self._deadlines is not None:
+                self._deadlines.schedule_in(
+                    _FLUSH_KEY, self.max_latency_ms / 1000.0, self._flush_on_deadline
+                )
+            if self._n_pending >= self.batch_size:
+                self.flush(reason="batch_full")
+        self._g_queue.set(self._n_pending)
+        return range(rid0, rid0 + n)
 
     def _flush_on_deadline(self) -> None:
         self.flush(reason="deadline")
@@ -347,9 +539,12 @@ class ScoringEngine:
             with self.metrics.span("engine.flush", clock=self.clock):
                 while self._pending:
                     version_id, batch = self._pending.popitem()
-                    self._n_pending -= len(batch)
+                    self._n_pending -= batch.n
                     model = self.registry.get(version_id).model
-                    rows = np.stack([row for _rid, row in batch])
+                    # one contiguous slice of the columnar block — the
+                    # block is retired with this dispatch, so the view
+                    # cannot alias later appends
+                    rows = batch.view()
                     future = self.backend.submit(_score_rows, self.policy, model, rows)
                     done_stamp: dict = {}
                     if self.clock is not None:
@@ -391,26 +586,33 @@ class ScoringEngine:
             if not wait and not future.done():  # type: ignore[attr-defined]
                 break
             self._inflight.popleft()
+            nb = batch.n
             try:
                 scores = np.asarray(
                     future.result(), dtype=float  # type: ignore[attr-defined]
                 ).ravel()
-                if scores.shape[0] != len(batch):
+                if scores.shape[0] != nb:
                     raise ValueError(
-                        f"policy returned {scores.shape[0]} scores for {len(batch)} rows"
+                        f"policy returned {scores.shape[0]} scores for {nb} rows"
                     )
             except BaseException:
-                # the failed batch is dropped whole — forget its stamps
-                # and its version attribution (those ids never resolve)
-                for rid, _row in batch:
+                # the failed batch is dropped whole — forget its stamps,
+                # its version attribution, and its id run (those ids
+                # never resolve)
+                if batch.record is not None:
+                    try:
+                        self._ranges.remove(batch.record)
+                    except ValueError:  # pragma: no cover - already gone
+                        pass
+                for rid in batch.rids[:nb].tolist():
                     self._submitted_at.pop(rid, None)
                     self._version_by_rid.pop(rid, None)
                 raise
             self._c_model_calls.inc()
-            self._c_rows_scored.inc(len(batch))
+            self._c_rows_scored.inc(nb)
             # the model really scored these rows — credit the version
             # (cache hits were credited separately at submit)
-            self.registry.get(version_id).requests += len(batch)
+            self.registry.get(version_id).requests += nb
             if self.clock is not None:
                 # scoring-completion time from the done-callback; the
                 # tiny race where done() flips before callbacks run
@@ -418,12 +620,41 @@ class ScoringEngine:
                 now = done_stamp.get("at", self.clock.now())
             else:
                 now = None
-            for (rid, row), score in zip(batch, scores):
-                self._ready[rid] = float(score)
-                if now is not None:
-                    self._log_latency(now - self._submitted_at.pop(rid, now))
-                if self.cache_size > 0:
-                    self._remember((version_id, row.tobytes()), float(score))
+            rec = batch.record
+            if rec is not None and not batch.mixed and now is None and self.cache_size <= 0:
+                # pure fast-path block: the scores array *is* the
+                # bookkeeping — O(1) reap, served by take_block (or
+                # lazily materialised if someone probes single ids)
+                rec.scores = scores
+            elif now is None and self.cache_size <= 0:
+                # nothing per-row to book — land the whole batch in one
+                # C-level update
+                if rec is not None:
+                    self._ranges.remove(rec)
+                    self._version_by_rid.update(
+                        zip(batch.rids[:nb].tolist(), repeat(version_id))
+                    )
+                self._ready.update(zip(batch.rids[:nb].tolist(), scores.tolist()))
+            else:
+                fallback = rec.submitted_at if rec is not None else None
+                if rec is not None:
+                    # degrade to exact per-rid accounting (clock and/or
+                    # cache writes need every row anyway)
+                    self._ranges.remove(rec)
+                    self._version_by_rid.update(
+                        zip(batch.rids[:nb].tolist(), repeat(version_id))
+                    )
+                rows = batch.rows
+                for i, rid in enumerate(batch.rids[:nb].tolist()):
+                    score = float(scores[i])
+                    self._ready[rid] = score
+                    if now is not None:
+                        sub = self._submitted_at.pop(
+                            rid, fallback if fallback is not None else now
+                        )
+                        self._log_latency(now - sub)
+                    if self.cache_size > 0:
+                        self._remember(version_id, rows[i].tobytes(), score)
 
     def _log_latency(self, seconds: float) -> None:
         # the sketch sees everything (bounded memory, no eviction) —
@@ -493,7 +724,10 @@ class ScoringEngine:
             self._deadlines.poll()
         if self._inflight:
             self._reap(wait=False)
-        return request_id in self._ready
+        if request_id in self._ready:
+            return True
+        rec = self._find_range(request_id)
+        return rec is not None and rec.scores is not None
 
     def version_of(self, request_id: int) -> int:
         """Registry version id whose score serves this request.
@@ -504,7 +738,28 @@ class ScoringEngine:
         *before* :meth:`take` — outcome attribution needs to know which
         model's score drove the decision being realised.
         """
-        return self._version_by_rid[request_id]
+        version = self._version_by_rid.get(request_id)
+        if version is not None:
+            return version
+        rec = self._find_range(request_id)
+        if rec is not None:
+            return rec.version_id
+        return self._version_by_rid[request_id]  # KeyError with the rid
+
+    def _find_range(self, rid: int) -> _RidRange | None:
+        for rec in self._ranges:
+            if rec.start <= rid < rec.stop:
+                return rec
+        return None
+
+    def _materialize(self, rec: _RidRange) -> None:
+        """Expand one scored fast-path run into the per-rid dicts (the
+        price of probing block results id-by-id; ``take_block`` never
+        pays it)."""
+        ids = range(rec.start, rec.stop)
+        self._ready.update(zip(ids, rec.scores.tolist()))
+        self._version_by_rid.update(zip(ids, repeat(rec.version_id)))
+        self._ranges.remove(rec)
 
     def take(self, request_id: int) -> float:
         """Pop a finished score (KeyError when still pending/unknown)."""
@@ -513,9 +768,50 @@ class ScoringEngine:
                 self._deadlines.poll()
             if self._inflight:
                 self._reap(wait=False)
+            if request_id not in self._ready:
+                rec = self._find_range(request_id)
+                if rec is not None and rec.scores is not None:
+                    self._materialize(rec)
         score = self._ready.pop(request_id)
         self._version_by_rid.pop(request_id, None)
         return score
+
+    def take_block(self, rids: "list[int] | range") -> np.ndarray:
+        """Pop a whole ``submit_batch`` worth of scores as one array.
+
+        The bulk companion to :meth:`take`: hand back exactly what
+        ``submit_batch`` returned and the scores come out in row
+        order.  When the ids are a fast-path run whose records tile
+        the span, this is O(1) per dispatched block (array slices, no
+        per-rid dicts); any other id sequence falls back to per-rid
+        :meth:`take` calls — same result, scalar cost.
+        """
+        n = len(rids)
+        if n == 0:
+            return np.empty(0, dtype=float)
+        self.poll()
+        start, stop = int(rids[0]), int(rids[-1]) + 1
+        if stop - start == n:
+            recs = sorted(
+                (
+                    r
+                    for r in self._ranges
+                    if r.start >= start and r.stop <= stop and r.scores is not None
+                ),
+                key=lambda r: r.start,
+            )
+            if (
+                recs
+                and recs[0].start == start
+                and recs[-1].stop == stop
+                and all(a.stop == b.start for a, b in zip(recs, recs[1:]))
+            ):
+                for rec in recs:
+                    self._ranges.remove(rec)
+                if len(recs) == 1:
+                    return recs[0].scores
+                return np.concatenate([rec.scores for rec in recs])
+        return np.array([self.take(rid) for rid in rids], dtype=float)
 
     def drain(self) -> list[tuple[int, int, float]]:
         """Pop every finished result as ``(request_id, version_id, score)``.
@@ -527,6 +823,8 @@ class ScoringEngine:
         one call instead of probing ids one by one.
         """
         self.poll()
+        for rec in [r for r in self._ranges if r.scores is not None]:
+            self._materialize(rec)
         out = []
         for rid in sorted(self._ready):
             score = self._ready.pop(rid)
@@ -580,9 +878,23 @@ class ScoringEngine:
     # ------------------------------------------------------------------
     # cache
     # ------------------------------------------------------------------
-    def _remember(self, cache_key: tuple[int, bytes], score: float) -> None:
+    def _cache_probe(self, version_id: int, row_bytes: bytes) -> float | None:
+        """One cache lookup through whichever backend is plugged in."""
+        if self._score_cache is not None:
+            return self._score_cache.get(version_id, row_bytes)
+        cache_key = (version_id, row_bytes)
+        hit = self._cache.get(cache_key)
+        if hit is not None:
+            self._cache.move_to_end(cache_key)
+        return hit
+
+    def _remember(self, version_id: int, row_bytes: bytes, score: float) -> None:
         if self.cache_size <= 0:
             return
+        if self._score_cache is not None:
+            self._score_cache.put(version_id, row_bytes, score)
+            return
+        cache_key = (version_id, row_bytes)
         self._cache[cache_key] = score
         self._cache.move_to_end(cache_key)
         while len(self._cache) > self.cache_size:

@@ -429,6 +429,17 @@ class ModelRegistry:
         """All registered versions, oldest first."""
         return [self._versions[v] for v in sorted(self._versions)]
 
+    @property
+    def routing_is_static(self) -> bool:
+        """True when :meth:`route` returns the champion for *every* key
+        without touching the RNG (no challenger staged, or a zero
+        split).  This is the predicate behind the engine's vectorised
+        ``submit_batch`` fast path: one ``route(None)`` call stands in
+        for N per-row calls *exactly* — same result, same RNG stream —
+        only while this holds.
+        """
+        return self._challenger is None or self._traffic_split <= 0.0
+
     def route(self, key: str | int | None = None) -> ModelVersion:
         """Pick the version serving one request (a pure routing decision;
         request accounting happens where the request is actually served,

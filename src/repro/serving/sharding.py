@@ -67,6 +67,9 @@ from repro.runtime import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SharedScoreCache,
+    SharedTensor,
+    SharedTensorPool,
     SystemClock,
 )
 from repro.serving.engine import EngineCore, ScoringEngine, _STAT_NAMES
@@ -95,6 +98,26 @@ _LATENCY_METRIC = "engine.latency_seconds"
 # on the lane, so the dict is always populated when traffic arrives.
 _SHARD_ENGINES: dict[tuple[int, int], ScoringEngine] = {}
 
+# zero-copy transport state per shard: the attacher side of the
+# parent's segments (see :mod:`repro.runtime.shm`).  Workers only ever
+# *attach* — the lifecycle rule is that the parent, who created every
+# segment, releases them; a worker's pool merely closes its own
+# mappings at _shard_drop (or process exit).
+_SHARD_TRANSPORTS: dict[tuple[int, int], "_WorkerTransport"] = {}
+
+
+class _WorkerTransport:
+    """One shard's attached transport segments + ring write cursor."""
+
+    __slots__ = ("pool", "ring", "ring_slots", "ring_written", "staging")
+
+    def __init__(self, pool: SharedTensorPool, ring: SharedTensor, ring_slots: int) -> None:
+        self.pool = pool
+        self.ring = ring
+        self.ring_slots = ring_slots
+        self.ring_written = 0  # absolute result cursor (parent reads [consumed, written))
+        self.staging: dict[str, SharedTensor] = {}
+
 
 def _shard_install(
     fleet: int,
@@ -102,6 +125,7 @@ def _shard_install(
     core_blob: bytes,
     max_latency_ms: float | None,
     clock: Clock | None,
+    transport_desc: dict | None = None,
 ) -> int:
     """Build shard ``shard`` of fleet ``fleet`` from a pickled core.
 
@@ -111,25 +135,81 @@ def _shard_install(
     live registry and the fleet would stop being a replica system.
     Each shard gets its own real :class:`MetricsRegistry`: the fleet's
     accounting is the merge of these.
+
+    ``transport_desc`` (zero-copy fleets only) names the parent's
+    segments: ``{"ring": (name, slots), "cache": (name, slots)|None}``.
+    The shard attaches its result ring and — when the fleet runs a
+    shared score cache — plugs the one fleet-wide
+    :class:`~repro.runtime.SharedScoreCache` into its engine, so a
+    score cached by any shard is a cache hit on all of them.
     """
     core: EngineCore = pickle.loads(core_blob)
+    score_cache = None
+    if transport_desc is not None:
+        pool = SharedTensorPool(prefix=f"repro-shard{shard}")
+        ring_name, ring_slots = transport_desc["ring"]
+        ring = pool.attach(ring_name, (ring_slots, 3))
+        _SHARD_TRANSPORTS[(fleet, shard)] = _WorkerTransport(pool, ring, ring_slots)
+        if transport_desc.get("cache") is not None:
+            cache_name, cache_slots = transport_desc["cache"]
+            score_cache = SharedScoreCache.attach(pool, cache_name, cache_slots)
     _SHARD_ENGINES[(fleet, shard)] = core.build(
         max_latency_ms=max_latency_ms,
         clock=clock,
         backend=SerialBackend(),
         metrics=MetricsRegistry(),
+        score_cache=score_cache,
     )
     return shard
 
 
+def _resolve_rows(fleet: int, shard: int, rows) -> np.ndarray:
+    """Turn a feed payload into rows: either the array itself (pickle /
+    inline transports) or a staged-segment descriptor to view."""
+    if not isinstance(rows, tuple):
+        return rows
+    _tag, name, cap, d, pos, n = rows
+    transport = _SHARD_TRANSPORTS[(fleet, shard)]
+    seg = transport.staging.get(name)
+    if seg is None:
+        seg = transport.staging[name] = transport.pool.attach(name, (cap, d))
+    return seg.array[pos : pos + n]
+
+
 def _shard_feed(
-    fleet: int, shard: int, rows: np.ndarray, keys: list
-) -> list[tuple[int, int, float]]:
-    """Submit a dispatch of rows and return everything now ready."""
+    fleet: int, shard: int, rows, keys: list, ring_consumed: int = 0
+):
+    """Submit a dispatch of rows and return everything now ready.
+
+    Zero-copy fleets ship ``rows`` as a ``("seg", name, cap, d, pos,
+    n)`` descriptor into the parent's staging ring, and results go
+    back through the shard's shared result ring when it has room
+    (``("ring", start, k)``) — the parent ships its consumed cursor
+    with every feed, so the worker never overwrites unread slots.  A
+    full ring (or a non-transport fleet) returns results inline.
+    """
     engine = _SHARD_ENGINES[(fleet, shard)]
-    for row, key in zip(rows, keys):
-        engine.submit(row, key=key)
-    return engine.drain()
+    resolved = _resolve_rows(fleet, shard, rows)
+    if any(key is not None for key in keys):
+        for row, key in zip(resolved, keys):
+            engine.submit(row, key=key)
+    else:
+        # keyless dispatch: one vectorised submit (falls back to the
+        # per-row path internally whenever caching/routing demand it)
+        engine.submit_batch(np.asarray(resolved))
+    results = engine.drain()
+    transport = _SHARD_TRANSPORTS.get((fleet, shard))
+    if transport is None:
+        return results
+    k = len(results)
+    free = transport.ring_slots - (transport.ring_written - ring_consumed)
+    if k == 0 or k > free:
+        return ("inline", results)
+    start = transport.ring_written
+    idx = (start + np.arange(k)) % transport.ring_slots
+    transport.ring.array[idx] = np.asarray(results, dtype=float)
+    transport.ring_written = start + k
+    return ("ring", start, k)
 
 
 def _shard_flush(fleet: int, shard: int) -> list[tuple[int, int, float]]:
@@ -152,8 +232,26 @@ def _shard_next_deadline(fleet: int, shard: int) -> float | None:
     return _SHARD_ENGINES[(fleet, shard)].next_deadline()
 
 
-def _shard_score_batch(fleet: int, shard: int, x: np.ndarray, key) -> np.ndarray:
-    return _SHARD_ENGINES[(fleet, shard)].score_batch(x, key=key)
+def _shard_score_batch(fleet: int, shard: int, x, key):
+    """Score one pre-assembled part; zero-copy fleets ship ``x`` as a
+    ``("bulk", in_name, cap, d, pos, n, out_name)`` descriptor and the
+    scores land in the parent's output segment instead of a pickled
+    return (the worker returns only the row count)."""
+    engine = _SHARD_ENGINES[(fleet, shard)]
+    if not isinstance(x, tuple):
+        return engine.score_batch(x, key=key)
+    _tag, in_name, cap, d, pos, n, out_name = x
+    transport = _SHARD_TRANSPORTS[(fleet, shard)]
+    pool = transport.pool
+    seg_in = pool.attach(in_name, (cap, d))
+    seg_out = pool.attach(out_name, (cap,))
+    try:
+        scores = engine.score_batch(seg_in.array[pos : pos + n], key=key)
+        seg_out.array[pos : pos + n] = scores
+    finally:
+        pool.release(in_name)
+        pool.release(out_name)
+    return n
 
 
 def _shard_snapshot(fleet: int, shard: int) -> tuple[Snapshot, dict]:
@@ -175,6 +273,11 @@ def _shard_sync(fleet: int, shard: int, state_blob: bytes) -> int:
 
 
 def _shard_drop(fleet: int, shard: int) -> bool:
+    transport = _SHARD_TRANSPORTS.pop((fleet, shard), None)
+    if transport is not None:
+        # attacher side only: close our mappings, never unlink — the
+        # parent created these segments and the parent releases them
+        transport.pool.close()
     return _SHARD_ENGINES.pop((fleet, shard), None) is not None
 
 
@@ -282,6 +385,25 @@ class ShardedScoringEngine:
         boundaries are governed by the shard engine's own
         ``batch_size``, so scores and stats are identical for any
         value.  Defaults to ``batch_size`` (one feed per micro-batch).
+    transport:
+        How bytes cross the shard boundary.  ``"auto"`` (default)
+        picks ``"shm"`` on a :class:`ProcessBackend` and ``"inline"``
+        elsewhere.  ``"shm"`` is the zero-copy path: feature blocks
+        land in per-shard shared staging rings and feeds ship only a
+        ``(segment, offset, shape)`` descriptor; scores return through
+        a per-shard shared result ring (with an automatic inline
+        fallback when a ring is full); and when ``cache_size > 0`` the
+        score cache becomes one fleet-wide
+        :class:`~repro.runtime.SharedScoreCache` segment, so a score
+        cached by any shard is a hit on all of them without a byte of
+        pickling.  ``"pickle"`` forces the old whole-array-through-
+        the-lane dispatch (the measured baseline the zero-copy bench
+        compares against); ``"inline"`` is the same mechanism on an
+        in-process backend, where the lane hands the array over
+        without serialising anyway.  Results and stats are identical
+        across transports — only the copies differ; note ``"shm"``
+        trades the per-shard LRU for the shared fixed-capacity table,
+        which can only change *hit rates*, never scores.
     """
 
     def __init__(
@@ -297,6 +419,7 @@ class ShardedScoringEngine:
         backend: ExecutionBackend | None = None,
         dispatch_size: int | None = None,
         latency_log_size: int | None = 1_000_000,
+        transport: str = "auto",
     ) -> None:
         if isinstance(models, ModelRegistry):
             self.registry = models
@@ -361,18 +484,60 @@ class ShardedScoringEngine:
         self._buf_rows: list[list[np.ndarray]] = [[] for _ in range(self.n_shards)]
         self._buf_keys: list[list] = [[] for _ in range(self.n_shards)]
         self._buf_rids: list[list[int]] = [[] for _ in range(self.n_shards)]
-        self._inflight: deque = deque()  # (kind, shard, future)
+        self._inflight: deque = deque()  # (kind, shard, future, meta)
+
+        self.metrics: MetricsRegistry = _FleetMetrics(self)
+        self.latency_hist = _MergedSketch(self)
+
+        # zero-copy transport: the parent creates every segment (and
+        # therefore releases every segment — close() sweeps the pool
+        # even when workers died mid-flight)
+        if transport == "auto":
+            transport = "shm" if isinstance(self.backend, ProcessBackend) else "inline"
+        if transport not in ("shm", "pickle", "inline"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm', 'pickle' or 'inline', got {transport!r}"
+            )
+        self.transport = transport
+        self._shm_pool: SharedTensorPool | None = None
+        transport_desc = None
+        if transport == "shm":
+            self._shm_pool = SharedTensorPool(metrics=self.metrics, prefix="repro-fleet")
+            self._ring_slots = max(16 * self.dispatch_size, 1024)
+            self._rings = [
+                self._shm_pool.create((self._ring_slots, 3)) for _ in range(self.n_shards)
+            ]
+            self._ring_consumed = [0] * self.n_shards
+            # staging rings materialise lazily (row width unknown yet)
+            self._stage_cap = max(8 * self.dispatch_size, 512)
+            self._staging: list[SharedTensor | None] = [None] * self.n_shards
+            self._stage_head = [0] * self.n_shards  # absolute consumed row cursor
+            self._stage_tail = [0] * self.n_shards  # absolute written row cursor
+            self._shared_cache: SharedScoreCache | None = None
+            if core.cache_size > 0:
+                # open addressing wants headroom: 2x slots keeps the
+                # probe windows sparse at the engine's nominal capacity
+                self._shared_cache = SharedScoreCache.create(
+                    self._shm_pool, slots=max(2 * core.cache_size, 8)
+                )
 
         # ship the replicas: first task on every lane, ahead of traffic
         blob = pickle.dumps(core)
         self._known_versions = {mv.version for mv in self.registry.versions()}
         self._synced_revision = self.registry.revision
         for shard in range(self.n_shards):
+            if transport == "shm":
+                transport_desc = {
+                    "ring": (self._rings[shard].name, self._ring_slots),
+                    "cache": (
+                        self._shared_cache.descriptor()
+                        if self._shared_cache is not None
+                        else None
+                    ),
+                }
             self._enqueue(shard, "install", _shard_install,
-                          self._fleet_id, shard, blob, max_latency_ms, clock)
-
-        self.metrics: MetricsRegistry = _FleetMetrics(self)
-        self.latency_hist = _MergedSketch(self)
+                          self._fleet_id, shard, blob, max_latency_ms, clock,
+                          transport_desc)
 
     # ------------------------------------------------------------------
     # routing
@@ -403,6 +568,54 @@ class ShardedScoringEngine:
             self._feed(shard)
         self._reap(wait=False)
         return rid
+
+    def submit_batch(
+        self, x: np.ndarray, keys: Sequence[str | int | None] | None = None
+    ) -> range:
+        """Enqueue ``x``'s rows in one call; returns their fleet ids.
+
+        Row ``i`` gets fleet id ``rid0 + i`` and routes exactly where
+        ``submit(x[i], key=keys[i])`` would have sent it — keyless rows
+        walk the round-robin cursor, keyed rows stick to their hash
+        shard — so results, stats, and version attribution match N
+        single submits.  The win is constant-factor: one routing pass,
+        one buffer extension per shard, and (keyless) the shard engine
+        scores the dispatch through its own vectorised
+        :meth:`ScoringEngine.submit_batch`.
+        """
+        self._maybe_sync()
+        x = np.ascontiguousarray(np.asarray(x, dtype=float))
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        n = x.shape[0]
+        if keys is not None and len(keys) != n:
+            raise ValueError(f"got {n} rows but {len(keys)} keys")
+        rid0 = self._next_rid
+        self._next_rid += n
+        if n == 0:
+            return range(rid0, rid0)
+        if keys is None:
+            shards = (self._rr + np.arange(n)) % self.n_shards
+            self._rr = int((self._rr + n) % self.n_shards)
+        else:
+            shards = np.fromiter(
+                (self.shard_of(k) for k in keys), dtype=np.int64, count=n
+            )
+        for shard in range(self.n_shards):
+            idx = np.nonzero(shards == shard)[0]
+            if idx.size == 0:
+                continue
+            block = x[idx]
+            ids = idx.tolist()
+            self._buf_rows[shard].extend(block)
+            self._buf_keys[shard].extend(
+                [None] * len(ids) if keys is None else [keys[i] for i in ids]
+            )
+            self._buf_rids[shard].extend(rid0 + i for i in ids)
+            if len(self._buf_rids[shard]) >= self.dispatch_size:
+                self._feed(shard)
+        self._reap(wait=False)
+        return range(rid0, rid0 + n)
 
     def flush(self, reason: str = "manual") -> int:
         """Ship every buffered request and flush every shard; returns
@@ -504,6 +717,8 @@ class ShardedScoringEngine:
                 shard, _shard_score_batch, self._fleet_id, shard, x, key
             )
             return np.asarray(future.result(), dtype=float).ravel()
+        if self.transport == "shm" and x.shape[0] >= self.n_shards:
+            return self._score_batch_shm(x)
         parts = np.array_split(x, self.n_shards)
         futures = [
             (shard, self.backend.submit_to(
@@ -515,6 +730,43 @@ class ShardedScoringEngine:
         return np.concatenate(
             [np.asarray(f.result(), dtype=float).ravel() for _s, f in futures]
         ) if futures else np.empty(0)
+
+    def _score_batch_shm(self, x: np.ndarray) -> np.ndarray:
+        """Keyless bulk scoring over shared segments: rows go out and
+        scores come back without a pickled byte.
+
+        One input segment holds the whole batch and one output segment
+        its scores; each shard reads/writes only its contiguous slice,
+        so there is no cross-shard write overlap to synchronise.  Both
+        segments are per-call (bulk batches are occasional and sized
+        arbitrarily — the feed path's persistent rings don't fit) and
+        the parent releases them before returning, success or not.
+        """
+        n, d = x.shape
+        seg_in = self._shm_pool.create((n, d))
+        seg_out = self._shm_pool.create((n,))
+        try:
+            seg_in.array[:] = x
+            # same part boundaries as np.array_split, so each shard
+            # scores byte-identical slices to the pickled dispatch
+            base, extra = divmod(n, self.n_shards)
+            futures = []
+            pos = 0
+            for shard in range(self.n_shards):
+                stop = pos + base + (1 if shard < extra else 0)
+                if stop == pos:
+                    continue
+                desc = ("bulk", seg_in.name, n, d, pos, stop - pos, seg_out.name)
+                futures.append(self.backend.submit_to(
+                    shard, _shard_score_batch, self._fleet_id, shard, desc, None
+                ))
+                pos = stop
+            for future in futures:
+                future.result()
+            return seg_out.array.copy()
+        finally:
+            self._shm_pool.release(seg_in.name)
+            self._shm_pool.release(seg_out.name)
 
     # ------------------------------------------------------------------
     # merge-derived accounting
@@ -600,20 +852,30 @@ class ShardedScoringEngine:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Drain in-flight work, drop every shard, and release a
-        privately owned backend (idempotent)."""
+        """Drain in-flight work, drop every shard, release every shared
+        segment, and shut down a privately owned backend (idempotent).
+
+        Segment release is unconditional: the parent created every
+        fleet segment, so whatever the reap or the drops raise — a
+        mid-flight scoring exception, even a dead process worker — the
+        final tier closes the parent's pool, which unlinks them all.
+        """
         if self._closed:
             return
         self._closed = True
         try:
-            self._reap(wait=True)
+            try:
+                self._reap(wait=True)
+            finally:
+                futures = [
+                    self.backend.submit_to(s, _shard_drop, self._fleet_id, s)
+                    for s in range(self.n_shards)
+                ]
+                for f in futures:
+                    f.result()
         finally:
-            futures = [
-                self.backend.submit_to(s, _shard_drop, self._fleet_id, s)
-                for s in range(self.n_shards)
-            ]
-            for f in futures:
-                f.result()
+            if self._shm_pool is not None:
+                self._shm_pool.close()
             if self._owns_backend:
                 self.backend.shutdown()
 
@@ -632,8 +894,33 @@ class ShardedScoringEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _enqueue(self, shard: int, kind: str, fn, *args) -> None:
-        self._inflight.append((kind, shard, self.backend.submit_to(shard, fn, *args)))
+    def _enqueue(self, shard: int, kind: str, fn, *args, meta=None) -> None:
+        self._inflight.append((kind, shard, self.backend.submit_to(shard, fn, *args), meta))
+
+    def _stage_rows(self, shard: int, rows: np.ndarray):
+        """Land a feed's rows in the shard's staging ring; returns the
+        descriptor to ship, or ``None`` when the ring can't take them
+        (full, or a row-width change) — the caller falls back to the
+        pickled dispatch, which is always correct."""
+        n, d = rows.shape
+        staging = self._staging[shard]
+        if staging is None:
+            if n > self._stage_cap:
+                return None
+            staging = self._staging[shard] = self._shm_pool.create((self._stage_cap, d))
+        elif staging.shape[1] != d:
+            return None
+        cap = staging.shape[0]
+        head, tail = self._stage_head[shard], self._stage_tail[shard]
+        pos = tail % cap
+        if pos + n > cap:
+            tail += cap - pos  # pad to the wrap boundary (freed with the feed)
+            pos = 0
+        if tail + n - head > cap:
+            return None
+        staging.array[pos : pos + n] = rows
+        self._stage_tail[shard] = tail + n
+        return ("seg", staging.name, cap, d, pos, n), tail + n
 
     def _feed(self, shard: int) -> int:
         """Ship shard ``shard``'s parent-side buffer as one dispatch."""
@@ -653,7 +940,15 @@ class ShardedScoringEngine:
         self._buf_rows[shard] = []
         self._buf_keys[shard] = []
         self._buf_rids[shard] = []
-        self._enqueue(shard, "feed", _shard_feed, self._fleet_id, shard, rows, keys)
+        if self.transport == "shm":
+            staged = self._stage_rows(shard, rows)
+            payload, meta = staged if staged is not None else (rows, None)
+            self._enqueue(
+                shard, "feed", _shard_feed, self._fleet_id, shard,
+                payload, keys, self._ring_consumed[shard], meta=meta,
+            )
+        else:
+            self._enqueue(shard, "feed", _shard_feed, self._fleet_id, shard, rows, keys)
         return n
 
     def _absorb(self, shard: int, drained: Sequence[tuple[int, int, float]]) -> None:
@@ -665,14 +960,41 @@ class ShardedScoringEngine:
             self._ready[rid] = score
             self._version_by_rid[rid] = version
 
+    def _absorb_ring(self, shard: int, start: int, k: int) -> None:
+        """Read ``k`` results the worker parked in the shared ring.
+
+        Safe without locks: the feed's future resolved, so the worker
+        finished writing; and the worker never writes past our consumed
+        cursor + ring size, so these slots were not overwritten."""
+        ring = self._rings[shard]
+        idx = (start + np.arange(k)) % self._ring_slots
+        mapping = self._rid_map[shard]
+        for local, version, score in ring.array[idx].tolist():
+            rid = mapping.pop(int(local), None)
+            if rid is None:
+                continue
+            self._ready[rid] = score
+            self._version_by_rid[rid] = int(version)
+        self._ring_consumed[shard] = start + k
+
     def _reap(self, wait: bool) -> None:
         while self._inflight:
-            kind, shard, future = self._inflight[0]
+            kind, shard, future, meta = self._inflight[0]
             if not wait and not future.done():
                 break
             self._inflight.popleft()
             result = future.result()  # re-raises worker failures here
-            if kind in ("feed", "flush"):
+            if meta is not None:
+                # the worker consumed the staged rows: free them (FIFO,
+                # so the head simply advances to this feed's end)
+                self._stage_head[shard] = meta
+            if kind == "feed" and isinstance(result, tuple):
+                tag = result[0]
+                if tag == "ring":
+                    self._absorb_ring(shard, result[1], result[2])
+                else:  # "inline": ring was full — results rode the future
+                    self._absorb(shard, result[1])
+            elif kind in ("feed", "flush"):
                 self._absorb(shard, result)
             # install/sync/drop return markers; nothing to absorb
 

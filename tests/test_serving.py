@@ -768,6 +768,129 @@ class TestAsyncFlush:
 
 
 # ---------------------------------------------------------------------------
+# submit_batch: the vectorised ingest path
+# ---------------------------------------------------------------------------
+class TestSubmitBatch:
+    """``submit_batch(X)`` is semantically N ``submit`` calls.
+
+    Pinned as *full* equivalence — scores, stats (including flush
+    counters), cache hits, version attribution, and the latency log —
+    on both the vectorised fast path (static routing, cache off) and
+    the per-row fallback (cache or live challenger).  The scalar
+    reference engine batches rows into the same pending blocks at
+    flush, so even the score floats are bit-identical.
+    """
+
+    W = np.linspace(-0.5, 0.5, 6)
+
+    def _engine(self, split=0.0, **kwargs) -> ScoringEngine:
+        registry = ModelRegistry(traffic_split=split, random_state=11)
+        registry.register(LinearROI(self.W), promote=True)
+        if split > 0.0:
+            registry.register(LinearROI(-self.W))
+        return ScoringEngine(registry, batch_size=16, **kwargs)
+
+    def _rows(self, n=150):
+        return np.random.default_rng(5).normal(size=(n, 6))
+
+    def test_fast_path_matches_per_row_submits(self):
+        rows = self._rows()
+        batch = self._engine(cache_size=0)
+        scalar = self._engine(cache_size=0)
+        ids = batch.submit_batch(rows)
+        assert isinstance(ids, range) and len(ids) == len(rows)
+        ref_ids = [scalar.submit(row) for row in rows]
+        batch.flush()
+        scalar.flush()
+        got = batch.take_block(ids)
+        expected = np.array([scalar.take(rid) for rid in ref_ids])
+        np.testing.assert_array_equal(got, expected)  # bit-identical
+        assert batch.stats == scalar.stats  # incl. flushes/batches
+
+    def test_cache_fallback_matches_per_row(self):
+        rows = np.tile(self._rows(10), (6, 1))  # repeats → cache traffic
+        batch = self._engine(cache_size=64)
+        scalar = self._engine(cache_size=64)
+        ids = batch.submit_batch(rows)
+        assert isinstance(ids, list)  # per-row path engaged
+        ref_ids = [scalar.submit(row) for row in rows]
+        batch.flush()
+        scalar.flush()
+        for rid, ref in zip(ids, ref_ids):
+            assert batch.take(rid) == scalar.take(ref)
+        assert batch.stats == scalar.stats
+        assert batch.stats["cache_hits"] > 0
+
+    def test_challenger_routing_fallback_matches(self):
+        """A live split forces per-row routing: the RNG draws in the
+        same order as N submits, so versions and scores agree."""
+        rows = self._rows(80)
+        batch = self._engine(split=0.3, cache_size=0)
+        scalar = self._engine(split=0.3, cache_size=0)
+        ids = batch.submit_batch(rows)
+        ref_ids = [scalar.submit(row) for row in rows]
+        batch.flush()
+        scalar.flush()
+        for rid, ref in zip(ids, ref_ids):
+            assert batch.version_of(rid) == scalar.version_of(ref)
+            assert batch.take(rid) == scalar.take(ref)
+        assert batch.stats == scalar.stats
+
+    def test_keys_route_like_scalar_submits(self):
+        rows = self._rows(60)
+        keys = [f"user-{i % 7}" for i in range(len(rows))]
+        batch = self._engine(split=0.5, cache_size=0)
+        scalar = self._engine(split=0.5, cache_size=0)
+        ids = batch.submit_batch(rows, keys=keys)
+        ref_ids = [scalar.submit(row, key=k) for row, k in zip(rows, keys)]
+        batch.flush()
+        scalar.flush()
+        for rid, ref in zip(ids, ref_ids):
+            assert batch.version_of(rid) == scalar.version_of(ref)
+            assert batch.take(rid) == scalar.take(ref)
+
+    def test_latency_log_identical_under_manual_clock(self):
+        rows = self._rows(48)
+        clocks = (ManualClock(), ManualClock())
+        batch = self._engine(cache_size=0, clock=clocks[0])
+        scalar = self._engine(cache_size=0, clock=clocks[1])
+        batch.submit_batch(rows)
+        for row in rows:
+            scalar.submit(row)
+        for clock in clocks:
+            clock.advance(0.004)
+        batch.flush()
+        scalar.flush()
+        assert batch.latencies == scalar.latencies
+        assert batch.latency_hist.snapshot() == scalar.latency_hist.snapshot()
+
+    def test_mixed_scalar_then_block_bookkeeping(self):
+        """Interleaving scalar submits with a block exercises the
+        mixed-block per-rid path; results must still match per-row."""
+        rows = self._rows(40)
+        batch = self._engine(cache_size=0)
+        scalar = self._engine(cache_size=0)
+        pre = [batch.submit(row) for row in rows[:3]]
+        ids = batch.submit_batch(rows[3:])
+        ref_ids = [scalar.submit(row) for row in rows]
+        batch.flush()
+        scalar.flush()
+        got = [batch.take(rid) for rid in pre] + list(batch.take_block(ids))
+        expected = [scalar.take(rid) for rid in ref_ids]
+        assert got == expected
+        assert batch.stats == scalar.stats
+
+    def test_validation_and_empty(self):
+        engine = self._engine(cache_size=0)
+        with pytest.raises(ValueError, match="2-D"):
+            engine.submit_batch(np.zeros(6))
+        with pytest.raises(ValueError, match="keys"):
+            engine.submit_batch(np.zeros((3, 6)), keys=["a"])
+        assert engine.submit_batch(np.empty((0, 6))) == []
+        assert engine.stats["requests"] == 0
+
+
+# ---------------------------------------------------------------------------
 # MultiDayPacer (cross-day carryover)
 # ---------------------------------------------------------------------------
 class TestMultiDayPacer:

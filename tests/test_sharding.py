@@ -135,6 +135,139 @@ class TestSingleShardEquivalence:
 
 
 # ---------------------------------------------------------------------------
+# fleet submit_batch: one call, N submits' semantics
+# ---------------------------------------------------------------------------
+class TestFleetSubmitBatch:
+    """``fleet.submit_batch(X)`` routes and scores exactly like N
+    ``submit`` calls — keyed rows stick to their hash shard, keyless
+    rows walk the round-robin cursor — across every backend and shard
+    count, so results and merged stats match the per-row stream."""
+
+    def _per_row_reference(self, rows, keys, **fleet_kwargs):
+        fleet = ShardedScoringEngine(make_registry(), **fleet_kwargs)
+        ids = [fleet.submit(row, key=k) for row, k in zip(rows, keys)]
+        fleet.flush()
+        scores = [fleet.take(rid) for rid in ids]
+        stats = fleet.stats
+        fleet.close()
+        return scores, stats
+
+    def test_keyed_matches_per_row_submits(self, rows):
+        keys = [f"user-{i}" for i in range(len(rows))]
+        expected, ref_stats = self._per_row_reference(
+            rows, keys, n_shards=4, batch_size=16
+        )
+        fleet = ShardedScoringEngine(make_registry(), n_shards=4, batch_size=16)
+        ids = fleet.submit_batch(rows, keys=keys)
+        assert isinstance(ids, range) and len(ids) == len(rows)
+        fleet.flush()
+        assert [fleet.take(rid) for rid in ids] == expected
+        assert fleet.stats == ref_stats
+        fleet.close()
+
+    def test_keyless_round_robin_matches(self, rows):
+        expected, ref_stats = self._per_row_reference(
+            rows[:150], [None] * 150, n_shards=3, batch_size=16
+        )
+        fleet = ShardedScoringEngine(make_registry(), n_shards=3, batch_size=16)
+        ids = fleet.submit_batch(rows[:150])
+        fleet.flush()
+        assert [fleet.take(rid) for rid in ids] == expected
+        assert fleet.stats == ref_stats
+        # the round-robin cursor advanced exactly n places
+        assert fleet.shard_of(None) == 150 % 3
+        fleet.close()
+
+    def test_partial_dispatch_then_more_batches(self, rows):
+        """Blocks smaller than dispatch_size buffer parent-side and ship
+        with the next batch — boundaries only affect transport, never
+        results."""
+        expected, ref_stats = self._per_row_reference(
+            rows[:90], list(range(90)), n_shards=2, batch_size=8, dispatch_size=64
+        )
+        fleet = ShardedScoringEngine(
+            make_registry(), n_shards=2, batch_size=8, dispatch_size=64
+        )
+        got = []
+        for start in (0, 30, 60):
+            ids = fleet.submit_batch(
+                rows[start : start + 30], keys=list(range(start, start + 30))
+            )
+            got.append(ids)
+        fleet.flush()
+        scores = [fleet.take(rid) for ids in got for rid in ids]
+        assert scores == expected
+        assert fleet.stats == ref_stats
+        fleet.close()
+
+    def test_thread_and_process_backends_match_serial(self, rows):
+        keys = list(range(120))
+        expected, _ = self._per_row_reference(
+            rows[:120], keys, n_shards=2, batch_size=32
+        )
+        for backend_cls in (ThreadBackend, ProcessBackend):
+            backend = backend_cls(n_workers=2)
+            try:
+                with ShardedScoringEngine(
+                    make_registry(), n_shards=2, batch_size=32, backend=backend
+                ) as fleet:
+                    ids = fleet.submit_batch(rows[:120], keys=keys)
+                    fleet.flush()
+                    assert [fleet.take(rid) for rid in ids] == expected
+                    assert fleet.stats["requests"] == 120
+            finally:
+                backend.shutdown()
+
+    def test_shard_count_does_not_change_scores(self, rows):
+        """With a deterministic champion, 1-shard and 4-shard fleets
+        score the same keyed stream identically."""
+        scores = {}
+        for n_shards in (1, 4):
+            fleet = ShardedScoringEngine(
+                make_registry(split=0.0), n_shards=n_shards, batch_size=16
+            )
+            ids = fleet.submit_batch(rows, keys=list(range(len(rows))))
+            fleet.flush()
+            scores[n_shards] = [fleet.take(rid) for rid in ids]
+            fleet.close()
+        assert scores[1] == scores[4]
+
+    def test_latency_sketch_matches_per_row(self, rows):
+        """Clocked deadline fleets log the same latencies either way."""
+        results = []
+        for use_batch in (False, True):
+            clock = ManualClock()
+            fleet = ShardedScoringEngine(
+                make_registry(), n_shards=2, batch_size=8,
+                max_latency_ms=50.0, clock=clock,
+            )
+            if use_batch:
+                fleet.submit_batch(rows[:64], keys=list(range(64)))
+            else:
+                for i, row in enumerate(rows[:64]):
+                    fleet.submit(row, key=i)
+            clock.advance(0.003)
+            fleet.flush()
+            results.append(
+                (sorted(fleet.latencies), fleet.latency_hist.snapshot().count)
+            )
+            fleet.close()
+        assert results[0] == results[1]
+        assert results[0][1] == 64
+
+    def test_validation_and_empty(self):
+        fleet = ShardedScoringEngine(make_registry(), n_shards=2)
+        with pytest.raises(ValueError, match="2-D"):
+            fleet.submit_batch(np.zeros(4))
+        with pytest.raises(ValueError, match="keys"):
+            fleet.submit_batch(np.zeros((3, 4)), keys=["a"])
+        empty = fleet.submit_batch(np.empty((0, 4)))
+        assert isinstance(empty, range) and len(empty) == 0
+        assert fleet.stats["requests"] == 0
+        fleet.close()
+
+
+# ---------------------------------------------------------------------------
 # merge-derived fleet accounting
 # ---------------------------------------------------------------------------
 class TestFleetAccounting:
