@@ -13,13 +13,60 @@ from __future__ import annotations
 
 import numpy as np
 
-from _harness import MC_SAMPLES, evaluate, get_rdrp, get_setting, print_header
+from _harness import MC_SAMPLES, evaluate, get_rdrp, get_setting, print_header, record_result
 from repro.core.conformal import ConformalCalibrator, empirical_coverage
 from repro.core.extensions import IsotonicRoiRecalibration
 from repro.core.roi_star import RoiStarEstimator
 
+#: results stashed by the granularity test, recorded together with the
+#: recalibration test's (both ablations are one DESIGN.md section)
+_RESULTS: dict[str, dict] = {}
 
-def test_roi_star_granularity(benchmark) -> None:
+
+def _record_trajectory(smoke: bool) -> None:
+    gran, iso = _RESULTS["granularity"], _RESULTS["isotonic"]
+    record_result(
+        "ablation_design_choices",
+        {
+            # coverages and AUCC levels are seed-pinned: gate them
+            "coverage_global": {
+                "value": gran["global"]["coverage"],
+                "direction": "higher",
+                "gated": True,
+            },
+            "coverage_binned": {
+                "value": gran["binned"]["coverage"],
+                "direction": "higher",
+                "gated": True,
+            },
+            "aucc_drp_raw": {
+                "value": iso["DRP (raw)"],
+                "direction": "higher",
+                "gated": True,
+            },
+            "aucc_rdrp_heuristic": {
+                "value": iso["rDRP (heuristic forms)"],
+                "direction": "higher",
+                "gated": True,
+            },
+            "aucc_isotonic": {
+                "value": iso["DRP + isotonic roi* recalibration"],
+                "direction": "higher",
+                "gated": True,
+            },
+            # the binned label spread is the ablation's existence proof
+            # (global is constant by construction) — context only
+            "binned_label_spread": {
+                "value": gran["binned"]["label_spread"],
+                "direction": "higher",
+            },
+        },
+        smoke=smoke,
+    )
+    _RESULTS.clear()
+
+
+def test_roi_star_granularity(benchmark, smoke) -> None:
     def run() -> dict[str, dict[str, float]]:
         data = get_setting("criteo", "InNo")
         model = get_rdrp("criteo", "InNo")
@@ -56,9 +103,10 @@ def test_roi_star_granularity(benchmark) -> None:
     # both modes must keep the Eq. 4 coverage promise (with slack)
     for stats in results.values():
         assert stats["coverage"] >= 0.9 - 0.12
+    _RESULTS["granularity"] = results
 
 
-def test_isotonic_recalibration_extension(benchmark) -> None:
+def test_isotonic_recalibration_extension(benchmark, smoke) -> None:
     def run() -> dict[str, float]:
         data = get_setting("criteo", "InCo")
         model = get_rdrp("criteo", "InCo")
@@ -82,3 +130,7 @@ def test_isotonic_recalibration_extension(benchmark) -> None:
     for name, score in scores.items():
         print(f"  {name:<36s} {score:.4f}")
     assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+    _RESULTS["isotonic"] = scores
+    if "granularity" in _RESULTS:
+        _record_trajectory(smoke)

@@ -10,11 +10,49 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _harness import MC_SAMPLES, SETTING_NAMES, get_dr, get_rdrp, get_setting, print_header
+from _harness import (
+    MC_SAMPLES,
+    SETTING_NAMES,
+    get_dr,
+    get_rdrp,
+    get_setting,
+    print_header,
+    record_result,
+)
 from repro.core.calibration import combine_point_and_std
 from repro.metrics.aucc import cost_curve
 
 CURVE_POINTS = 11  # decile sampling, like the figure
+
+_AREA_KEYS = {
+    "DR": "area_dr_mean",
+    "DR w/ MC": "area_dr_mc_mean",
+    "DRP": "area_drp_mean",
+    "DRP w/ MC": "area_drp_mc_mean",
+    "DRP w/ MC w/ CP": "area_drp_mc_cp_mean",
+    "Random": "area_random_mean",
+}
+
+_SETTINGS: dict[str, dict[str, float]] = {}
+
+
+def _record_trajectory(smoke: bool) -> None:
+    metrics: dict[str, dict] = {
+        "settings": {
+            "value": float(len(_SETTINGS)),
+            "unit": "settings",
+            "gated": True,
+            "tolerance": 0.01,
+        },
+    }
+    for arm, key in _AREA_KEYS.items():
+        metrics[key] = {
+            "value": float(np.mean([areas[arm] for areas in _SETTINGS.values()])),
+            "direction": "higher",
+            "gated": True,
+        }
+    record_result("fig5_cost_curves", metrics, smoke=smoke)
+    _SETTINGS.clear()
 
 
 def _curves_for_setting(setting: str) -> dict[str, object]:
@@ -41,7 +79,7 @@ def _curves_for_setting(setting: str) -> dict[str, object]:
 
 
 @pytest.mark.parametrize("setting", SETTING_NAMES)
-def test_fig5_panel(benchmark, setting: str) -> None:
+def test_fig5_panel(benchmark, smoke, setting: str) -> None:
     curves = benchmark.pedantic(_curves_for_setting, args=(setting,), rounds=1, iterations=1)
 
     print_header(f"Fig. 5 — ablation cost curves, criteo, {setting}")
@@ -57,3 +95,7 @@ def test_fig5_panel(benchmark, setting: str) -> None:
         assert curve.cost[0] == 0.0 and curve.reward[0] == 0.0
         assert curve.cost[-1] == pytest.approx(1.0)
         assert curve.reward[-1] == pytest.approx(1.0)
+
+    _SETTINGS[setting] = {name: float(curve.area) for name, curve in curves.items()}
+    if len(_SETTINGS) == len(SETTING_NAMES):
+        _record_trajectory(smoke)

@@ -13,16 +13,46 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _harness import SETTING_NAMES, get_rdrp, print_header
+from _harness import SETTING_NAMES, get_rdrp, print_header, record_result
 from repro.ab.experiment import ABTest
 from repro.ab.platform import Platform
 
 N_DAYS = 5
 COHORT = 7500
 
+_SETTINGS: dict[str, dict[str, float]] = {}
+
+
+def _record_trajectory(smoke: bool) -> None:
+    record_result(
+        "fig6_ab_test",
+        {
+            "settings": {
+                "value": float(len(_SETTINGS)),
+                "unit": "settings",
+                "gated": True,
+                "tolerance": 0.01,
+            },
+            # uplift percentages hover near zero at this cohort scale,
+            # so a relative band cannot gate them — shape context only
+            "uplift_drp_mean": {
+                "value": float(np.mean([s["DRP"] for s in _SETTINGS.values()])),
+                "unit": "%",
+                "direction": "higher",
+            },
+            "uplift_rdrp_mean": {
+                "value": float(np.mean([s["rDRP"] for s in _SETTINGS.values()])),
+                "unit": "%",
+                "direction": "higher",
+            },
+        },
+        smoke=smoke,
+    )
+    _SETTINGS.clear()
+
 
 @pytest.mark.parametrize("setting", SETTING_NAMES)
-def test_fig6_panel(benchmark, setting: str) -> None:
+def test_fig6_panel(benchmark, smoke, setting: str) -> None:
     def run_panel() -> dict[str, list[float]]:
         rdrp = get_rdrp("criteo", setting)
         platform = Platform(
@@ -51,3 +81,7 @@ def test_fig6_panel(benchmark, setting: str) -> None:
     # both model arms should beat the random control on average
     assert np.mean(uplift["DRP"]) > -1.0
     assert np.mean(uplift["rDRP"]) > -1.0
+
+    _SETTINGS[setting] = {arm: float(np.mean(series)) for arm, series in uplift.items()}
+    if len(_SETTINGS) == len(SETTING_NAMES):
+        _record_trajectory(smoke)

@@ -7,12 +7,14 @@ adding CP improves DRP w/ MC further; gains grow from Su* to In*.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from _harness import (
     DATASETS,
     SETTING_NAMES,
     print_header,
+    record_result,
     run_dr,
     run_dr_mc,
     run_drp,
@@ -28,10 +30,40 @@ ABLATION_ARMS = (
     ("DRP w/ MC w/ CP", run_drp_mc_cp),
 )
 
+#: trajectory metric key per ablation arm
+_ARM_KEYS = {
+    "DR": "aucc_dr_mean",
+    "DR w/ MC": "aucc_dr_mc_mean",
+    "DRP": "aucc_drp_mean",
+    "DRP w/ MC": "aucc_drp_mc_mean",
+    "DRP w/ MC w/ CP": "aucc_drp_mc_cp_mean",
+}
+
+_CELLS: dict[tuple[str, str], dict[str, float]] = {}
+
+
+def _record_trajectory(smoke: bool) -> None:
+    metrics: dict[str, dict] = {
+        "cells": {
+            "value": float(len(_CELLS)),
+            "unit": "cells",
+            "gated": True,
+            "tolerance": 0.01,
+        },
+    }
+    for arm, key in _ARM_KEYS.items():
+        metrics[key] = {
+            "value": float(np.mean([cell[arm] for cell in _CELLS.values()])),
+            "direction": "higher",
+            "gated": True,
+        }
+    record_result("table2_ablation", metrics, smoke=smoke)
+    _CELLS.clear()
+
 
 @pytest.mark.parametrize("dataset", DATASETS)
 @pytest.mark.parametrize("setting", SETTING_NAMES)
-def test_table2_cell(benchmark, dataset: str, setting: str) -> None:
+def test_table2_cell(benchmark, smoke, dataset: str, setting: str) -> None:
     def run_cell() -> dict[str, float]:
         return {name: runner(dataset, setting) for name, runner in ABLATION_ARMS}
 
@@ -44,3 +76,7 @@ def test_table2_cell(benchmark, dataset: str, setting: str) -> None:
     assert all(0.0 <= s <= 1.0 for s in scores.values())
     # the full method must not regress materially against plain DRP
     assert scores["DRP w/ MC w/ CP"] >= scores["DRP"] - 0.05
+
+    _CELLS[(dataset, setting)] = scores
+    if len(_CELLS) == len(DATASETS) * len(SETTING_NAMES):
+        _record_trajectory(smoke)

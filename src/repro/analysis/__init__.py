@@ -1,0 +1,59 @@
+"""repro.analysis — the AST invariant linter for this repo's contracts.
+
+The codebase runs on a handful of architectural contracts that
+example-based tests can only pin for the violations someone already
+thought of: clock injection (deterministic replay), ``SeedStream``-only
+randomness (CRN pairing), constructor-owns-lifetime for backends and
+shared-memory pools, pickle-safety across process boundaries, the obs
+``adopt()`` hot-path rule, no dropped futures, no swallowed exceptions
+in serving/runtime.  This package machine-checks them: a stdlib-only
+(``ast`` + ``tokenize``) pass with one rule per contract
+(``RPR001``…``RPR007``), inline ``# repro: allow[RPRnnn]`` suppressions
+that are themselves audited for staleness, and text/JSON reporters.
+
+Three front doors:
+
+- CLI: ``python -m repro.analysis [--format json] [paths…]``
+- pytest gate: ``tests/test_analysis.py`` asserts zero findings on
+  ``src/``
+- CI: the ``analysis`` job fails the build on any finding
+
+See ``docs/ANALYSIS.md`` for each rule's contract and rationale.
+"""
+
+from repro.analysis.core import (
+    META_CODE,
+    Analyzer,
+    Finding,
+    Module,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.report import (
+    SCHEMA,
+    findings_from_json,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import default_rules
+from repro.analysis.suppress import Suppression, scan_suppressions
+
+__all__ = [
+    "META_CODE",
+    "SCHEMA",
+    "Analyzer",
+    "Finding",
+    "Module",
+    "Rule",
+    "Suppression",
+    "analyze_paths",
+    "analyze_source",
+    "default_rules",
+    "findings_from_json",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+    "scan_suppressions",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""``python -m repro.analysis [--format json] [paths…]``.
+
+Exit status 0 when the tree is clean, 1 when any finding (or any stale
+suppression) survives, 2 on usage errors — the same contract the CI
+``analysis`` job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.core import Analyzer
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import default_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "machine-check the repo's architectural contracts "
+            "(clock/RNG discipline, resource ownership, pickle-safety, "
+            "obs hot path, dropped futures, swallowed exceptions)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directory trees to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _explain() -> str:
+    lines = []
+    for rule in default_rules():
+        lines.append(f"{rule.code} {rule.name}: {rule.description}")
+    lines.append(
+        "RPR000 meta: parse failures and stale/unknown "
+        "`# repro: allow[...]` suppressions"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.explain:
+        print(_explain())
+        return 0
+    analyzer = Analyzer(default_rules())
+    try:
+        findings = analyzer.check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = render_json(findings) if args.format == "json" else render_text(findings)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(report if report.endswith("\n") else report + "\n")
+    else:
+        print(report, end="" if report.endswith("\n") else "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,222 @@
+"""The rule framework: findings, module context, and the analyzer loop.
+
+A :class:`Rule` owns one contract code (``RPR001``…): it receives a
+parsed :class:`Module` and yields :class:`Finding`\\ s.  The
+:class:`Analyzer` runs every registered rule over every module, applies
+``# repro: allow[RPRnnn]`` suppressions (see
+:mod:`repro.analysis.suppress`), and then audits the suppressions
+themselves — an allow entry that matched nothing, or that names an
+unknown code, is reported under :data:`META_CODE` so dead suppressions
+cannot accumulate.
+
+Scoping: a rule may declare ``scope_segments`` (it only runs on modules
+whose path contains one of those directory segments — e.g. RPR007's
+swallowed-exception half applies to ``serving``/``runtime`` only) and
+``exempt_suffixes`` (path suffixes the rule skips entirely — e.g.
+``runtime/clock.py`` is the one module allowed to read the wall clock).
+Paths are matched on their POSIX form, so fixture trees under
+``tests/analysis_fixtures/<code>/serving/…`` exercise scoped rules by
+mirroring the segment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.suppress import Suppression, scan_suppressions
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "META_CODE",
+    "Module",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+#: analysis meta-findings: parse failures, unused/unknown suppressions.
+#: Not suppressible — a stale allow comment must be deleted, not allowed.
+META_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Module:
+    """One parsed source file plus the path facts rules scope on."""
+
+    def __init__(self, path: str | Path, source: str) -> None:
+        self.path = Path(path)
+        self.posix = self.path.as_posix()
+        self.segments = frozenset(self.path.parts[:-1])
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        # parent links let rules walk outward (e.g. "is this call inside
+        # a finally block / which function encloses this node")
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                child._repro_parent = parent  # type: ignore[attr-defined]
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_repro_parent", None)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The nearest ``def`` whose body contains ``node`` (or None)."""
+        cur = self.parent(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parent(cur)
+        return None
+
+
+class Rule:
+    """Base class: one code, one contract, one ``check`` pass."""
+
+    code: str = ""
+    name: str = ""
+    #: one-line statement of the contract (shown by ``--explain``)
+    description: str = ""
+    #: run only on modules whose directory path contains one of these
+    #: segments (empty = everywhere)
+    scope_segments: frozenset[str] = frozenset()
+    #: skip modules whose POSIX path ends with any of these suffixes
+    exempt_suffixes: tuple[str, ...] = ()
+
+    def applies_to(self, module: Module) -> bool:
+        if any(module.posix.endswith(suffix) for suffix in self.exempt_suffixes):
+            return False
+        if self.scope_segments and not (self.scope_segments & module.segments):
+            return False
+        return True
+
+    def check(self, module: Module) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.posix,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+class Analyzer:
+    """Run a rule set over sources, honouring and auditing suppressions."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = list(rules)
+        codes = [rule.code for rule in self.rules]
+        if len(set(codes)) != len(codes):
+            raise ValueError(f"duplicate rule codes: {sorted(codes)}")
+        self.known_codes = frozenset(codes)
+
+    def check_source(self, path: str | Path, source: str) -> list[Finding]:
+        """All unsuppressed findings for one file, sorted by location."""
+        posix = Path(path).as_posix()
+        try:
+            module = Module(path, source)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=posix,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code=META_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        suppressions = scan_suppressions(source)
+        allowed: dict[tuple[int, str], Suppression] = {
+            (sup.line, code): sup for sup in suppressions for code in sup.codes
+        }
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                sup = allowed.get((finding.line, finding.code))
+                if sup is not None:
+                    sup.used.add(finding.code)
+                else:
+                    findings.append(finding)
+        findings.extend(self._audit_suppressions(posix, suppressions))
+        return sorted(findings)
+
+    def _audit_suppressions(
+        self, posix: str, suppressions: list[Suppression]
+    ) -> Iterator[Finding]:
+        for sup in suppressions:
+            for code in sup.codes:
+                if code not in self.known_codes or code == META_CODE:
+                    yield Finding(
+                        path=posix,
+                        line=sup.line,
+                        col=0,
+                        code=META_CODE,
+                        message=f"suppression names unknown rule code {code!r}",
+                    )
+                elif code not in sup.used:
+                    yield Finding(
+                        path=posix,
+                        line=sup.line,
+                        col=0,
+                        code=META_CODE,
+                        message=(
+                            f"unused suppression: no {code} finding on this "
+                            "line — delete the allow comment"
+                        ),
+                    )
+
+    def check_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Analyze files and directory trees; returns sorted findings."""
+        findings: list[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.check_source(path, path.read_text()))
+        return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def analyze_source(path: str | Path, source: str) -> list[Finding]:
+    """Convenience: run the default rule set over one source string."""
+    from repro.analysis.rules import default_rules
+
+    return Analyzer(default_rules()).check_source(path, source)
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Convenience: run the default rule set over files/directories."""
+    from repro.analysis.rules import default_rules
+
+    return Analyzer(default_rules()).check_paths(paths)

@@ -1,0 +1,85 @@
+"""Finding reporters: human text and a versioned JSON schema.
+
+The JSON shape is ``repro.analysis/1``::
+
+    {
+      "schema": "repro.analysis/1",
+      "count": 2,
+      "findings": [
+        {"path": "...", "line": 10, "col": 4,
+         "code": "RPR001", "message": "..."},
+        ...
+      ]
+    }
+
+``findings_from_json`` round-trips the payload back into
+:class:`~repro.analysis.core.Finding` objects, so CI tooling (and
+``tests/test_analysis.py``) can consume the artifact without parsing
+text output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = [
+    "SCHEMA",
+    "findings_from_json",
+    "render_json",
+    "render_text",
+]
+
+SCHEMA = "repro.analysis/1"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding plus a tally."""
+    lines = [finding.format() for finding in findings]
+    n = len(findings)
+    lines.append(f"{n} finding{'' if n == 1 else 's'}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "schema": SCHEMA,
+        "count": len(findings),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def findings_from_json(text: str) -> list[Finding]:
+    """Parse a ``repro.analysis/1`` payload back into findings."""
+    payload = json.loads(text)
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"unsupported schema {schema!r} (expected {SCHEMA!r})")
+    findings = [
+        Finding(
+            path=entry["path"],
+            line=entry["line"],
+            col=entry["col"],
+            code=entry["code"],
+            message=entry["message"],
+        )
+        for entry in payload["findings"]
+    ]
+    if payload.get("count") != len(findings):
+        raise ValueError(
+            f"count field {payload.get('count')!r} does not match "
+            f"{len(findings)} findings"
+        )
+    return findings

@@ -1,0 +1,65 @@
+"""Inline suppressions: ``# repro: allow[RPRnnn]`` comments.
+
+A finding is suppressed by putting an allow comment on the *physical
+line the finding is reported at* (for a multi-line statement, the line
+of the offending node).  Several codes may share one comment —
+``# repro: allow[RPR001,RPR006]`` — and the comment may trail other
+comment text (``# frobnicate  # repro: allow[RPR001]``).
+
+Suppressions are themselves audited: the analyzer reports an
+:data:`~repro.analysis.core.META_CODE` finding for every allow entry
+that suppressed nothing (stale after a refactor) and for every code
+that names no known rule — so a suppression can never silently outlive
+the violation it was written for.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass
+class Suppression:
+    """One allow comment: the codes it permits on its line."""
+
+    line: int
+    codes: tuple[str, ...]
+    #: codes that actually matched a finding (filled in by the analyzer)
+    used: set[str] = field(default_factory=set)
+
+
+def scan_suppressions(source: str) -> list[Suppression]:
+    """Extract every allow comment from ``source`` via :mod:`tokenize`.
+
+    Tokenizing (rather than regexing raw lines) means an allow-shaped
+    string *literal* never counts as a suppression, and a comment is
+    attributed to the physical line it sits on even inside bracketed
+    continuations.
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            if codes:
+                out.append(Suppression(line=tok.start[0], codes=codes))
+    except tokenize.TokenError:
+        # unterminated brackets etc.: the ast parse will report it
+        pass
+    return out

@@ -274,15 +274,17 @@ class SharedTensorPool:
     def _close_tensor(tensor: SharedTensor) -> None:
         # drop the numpy view first: SharedMemory.close() refuses while
         # exported buffers are alive
-        tensor._array = None  # noqa: SLF001
+        tensor._array = None
         try:
-            tensor._segment.close()  # noqa: SLF001
+            tensor._segment.close()
         except BufferError:  # pragma: no cover - view still referenced elsewhere
             return
         if tensor.owner:
             try:
-                tensor._segment.unlink()  # noqa: SLF001
-            except FileNotFoundError:  # pragma: no cover - already unlinked
+                tensor._segment.unlink()
+            # idempotent teardown: a racing owner may have unlinked first;
+            # the segment is gone either way, which is the goal state
+            except FileNotFoundError:  # pragma: no cover - already unlinked  # repro: allow[RPR007]
                 pass
 
     # ------------------------------------------------------------------

@@ -72,6 +72,11 @@ HOLDING = "holding"
 
 _RAMP_KEY = "ramp"  # the promoter's single deadline-loop slot
 
+#: every PromotionEvent.kind the promoter can emit — the per-kind event
+#: counters are pre-adopted from this set so the lifecycle path never
+#: touches the metrics registry (the obs hot-path contract, RPR005)
+EVENT_KINDS = ("start", "ramp", "promote", "kill", "confirm", "rollback", "abort")
+
 
 @dataclass(frozen=True)
 class PromotionEvent:
@@ -216,6 +221,10 @@ class AutoPromoter:
         self._c_observations = self.metrics.counter("promoter.observations")
         self._g_split = self.metrics.gauge("promoter.traffic_split")
         self._g_stage = self.metrics.gauge("promoter.ramp_stage")
+        self._c_events = {
+            kind: self.metrics.counter(f"promoter.{kind}")
+            for kind in EVENT_KINDS
+        }
 
     # ------------------------------------------------------------------
     # introspection
@@ -245,7 +254,7 @@ class AutoPromoter:
                 ci=ci,
             )
         )
-        self.metrics.counter(f"promoter.{kind}").inc()
+        self._c_events[kind].inc()
         self._g_split.set(self.registry.traffic_split)
         self._g_stage.set(self._ramp_idx)
 

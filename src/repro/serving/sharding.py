@@ -192,11 +192,14 @@ def _shard_feed(
     resolved = _resolve_rows(fleet, shard, rows)
     if any(key is not None for key in keys):
         for row, key in zip(resolved, keys):
-            engine.submit(row, key=key)
+            # rids are deliberately dropped: the shard worker consumes
+            # results positionally via the drain() below, and submit-time
+            # failures surface through drain's error propagation
+            engine.submit(row, key=key)  # repro: allow[RPR006]
     else:
         # keyless dispatch: one vectorised submit (falls back to the
         # per-row path internally whenever caching/routing demand it)
-        engine.submit_batch(np.asarray(resolved))
+        engine.submit_batch(np.asarray(resolved))  # repro: allow[RPR006]
     results = engine.drain()
     transport = _SHARD_TRANSPORTS.get((fleet, shard))
     if transport is None:

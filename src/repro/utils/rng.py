@@ -29,7 +29,9 @@ def as_generator(random_state: int | np.random.Generator | None) -> np.random.Ge
     numpy.random.Generator
     """
     if random_state is None:
-        return np.random.default_rng()
+        # the one sanctioned fresh-entropy entry point: as_generator(None)
+        # is the documented "I explicitly want OS entropy" escape hatch
+        return np.random.default_rng()  # repro: allow[RPR002]
     if isinstance(random_state, np.random.Generator):
         return random_state
     if isinstance(random_state, (int, np.integer)):

@@ -1,0 +1,31 @@
+"""RPR001 bad: every flavour of direct wall-clock access."""
+
+import datetime
+import time
+from time import sleep  # finding: banned import
+
+from datetime import datetime as dt
+
+
+def stamp() -> float:
+    return time.time()  # finding
+
+
+def tick() -> float:
+    return time.monotonic()  # finding
+
+
+def profile() -> float:
+    return time.perf_counter()  # finding (the pre-fix tracing.py shape)
+
+
+def nap() -> None:
+    sleep(0.1)  # finding: name resolved through the from-import
+
+
+def today() -> object:
+    return dt.now()  # finding
+
+
+def also_today() -> object:
+    return datetime.datetime.utcnow()  # finding

@@ -1,0 +1,16 @@
+"""RPR001 good: components read time through an injected Clock, and
+timestamp *formatting* is not wall-clock access."""
+
+import time
+
+
+class Component:
+    def __init__(self, clock) -> None:
+        self.clock = clock
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def label(self, at: float) -> str:
+        # formatting an already-captured instant is fine
+        return time.strftime("%Y-%m-%d", time.gmtime(at))

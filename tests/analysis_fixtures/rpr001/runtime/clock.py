@@ -1,0 +1,12 @@
+"""RPR001 exempt path: ``runtime/clock.py`` is the one sanctioned
+wall-clock reader, matched by path suffix."""
+
+import time
+
+
+class SystemClock:
+    def now(self) -> float:
+        return time.monotonic()  # no finding: exempt module
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)  # no finding: exempt module

@@ -1,0 +1,20 @@
+"""RPR002 bad: legacy global-state numpy randomness."""
+
+import numpy as np
+from numpy.random import randint  # finding: banned import
+
+
+def draw(n: int):
+    return np.random.normal(size=n)  # finding
+
+
+def reseed() -> None:
+    np.random.seed(0)  # finding
+
+
+def pick(n: int):
+    return randint(0, n)
+
+
+def legacy_state():
+    return np.random.RandomState(7)  # finding

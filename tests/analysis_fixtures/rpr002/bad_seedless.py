@@ -1,0 +1,16 @@
+"""RPR002 bad: seedless default_rng — fresh entropy outside utils/rng."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh():
+    return np.random.default_rng()  # finding (the pre-suppression rng.py shape)
+
+
+def explicit_none():
+    return np.random.default_rng(None)  # finding
+
+
+def keyword_none():
+    return default_rng(seed=None)  # finding

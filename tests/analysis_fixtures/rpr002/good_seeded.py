@@ -1,0 +1,17 @@
+"""RPR002 good: seeded Generators and Generator methods."""
+
+import numpy as np
+
+
+def draw(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)
+
+
+def spawn(rng: np.random.Generator, n: int):
+    # Generator methods are fine — the discipline is about *global* state
+    return rng.integers(0, 10, size=n)
+
+
+def keyword_seeded(seed):
+    return np.random.default_rng(seed=seed)

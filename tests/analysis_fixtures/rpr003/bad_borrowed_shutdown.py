@@ -1,0 +1,11 @@
+"""RPR003 bad: shutting down a backend you merely borrowed."""
+
+
+def run(rows, backend):
+    out = [backend.submit(len, row) for row in rows]
+    backend.shutdown()  # finding: borrower must not shut down
+    return out
+
+
+def tidy(pool) -> None:
+    pool.close()  # finding: borrower must not close

@@ -1,0 +1,19 @@
+"""RPR003 bad: shutdown exists but is not guaranteed on all paths."""
+
+
+def risky(rows, n: int):
+    backend = ThreadBackend(n)  # finding: shutdown not in a finally
+    out = [backend.submit(len, row) for row in rows]  # may raise
+    backend.shutdown()
+    return out
+
+
+class ThreadBackend:
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def submit(self, fn, *args):
+        return fn(*args)
+
+    def shutdown(self) -> None:
+        pass

@@ -1,0 +1,26 @@
+"""RPR004 bad: unpicklable cargo shipped through submit/submit_to."""
+
+import functools
+
+
+def fan_out(backend, rows):
+    rids = []
+    for row in rows:
+        rids.append(backend.submit(lambda r: r * 2, row))  # finding
+    return rids
+
+
+def targeted(backend, shard, row):
+    return backend.submit_to(shard, lambda r: r + 1, row)  # finding
+
+
+def closure(backend, rows, scale):
+    def scaled(r):  # closes over `scale`
+        return r * scale
+
+    return [backend.submit(scaled, row) for row in rows]  # finding
+
+
+def via_partial(backend, row):
+    helper = lambda r: r - 1  # noqa: E731
+    return backend.submit(functools.partial(helper, row))  # finding

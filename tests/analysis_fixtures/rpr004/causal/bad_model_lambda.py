@@ -1,0 +1,7 @@
+"""RPR004 bad (model segment): lambda-valued attribute on a model."""
+
+
+class SLearner:
+    def __init__(self, base):
+        self.base = base
+        self.transform = lambda x: x * 2.0  # finding: breaks pickling

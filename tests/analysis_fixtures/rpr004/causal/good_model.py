@@ -1,0 +1,14 @@
+"""RPR004 good (model segment): picklable model attributes."""
+
+
+def _double(x):
+    return x * 2.0
+
+
+class SLearner:
+    def __init__(self, base):
+        self.base = base
+        self.transform = _double  # module-level: pickles fine
+
+    def apply(self, x):
+        return self.transform(x)

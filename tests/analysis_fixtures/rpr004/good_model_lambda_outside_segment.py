@@ -1,0 +1,8 @@
+"""RPR004: the model-attribute half only applies inside model
+segments (causal/linear/trees/nn) — elsewhere a lambda attribute is
+someone else's problem (e.g. ruff), not a pickling contract."""
+
+
+class Helper:
+    def __init__(self):
+        self.f = lambda x: x  # no finding: not a model segment

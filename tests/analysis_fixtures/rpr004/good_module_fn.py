@@ -1,0 +1,20 @@
+"""RPR004 good: module-level callables pickle fine."""
+
+import functools
+
+
+def work(r, scale=2):
+    return r * scale
+
+
+def fan_out(backend, rows):
+    return [backend.submit(work, row) for row in rows]
+
+
+def targeted(backend, shard, row):
+    return backend.submit_to(shard, work, row)
+
+
+def via_partial(backend, row, scale):
+    # partial over a module-level function is picklable
+    return backend.submit(functools.partial(work, scale=scale), row)

@@ -1,0 +1,21 @@
+"""RPR005 bad (serving segment): registry lookups on a per-event path
+— the exact pre-fix AutoPromoter._event shape."""
+
+
+class Promoter:
+    def __init__(self, metrics):
+        self.metrics = metrics
+        self.events = []
+
+    def _event(self, kind, version):
+        self.events.append((kind, version))
+        self.metrics.counter(f"promoter.{kind}").inc()  # finding
+
+    def observe(self, value):
+        self.metrics.histogram("promoter.values").observe(value)  # finding
+
+    def rebalance(self):
+        self.metrics.gauge("promoter.split").set(0.5)  # finding
+
+    def attach(self, registry):
+        registry.adopt(self.events)  # finding: adopt outside __init__

@@ -1,0 +1,26 @@
+"""RPR005 good (serving segment): metrics pre-adopted at construction;
+snapshots only at boundaries."""
+
+EVENT_KINDS = ("start", "promote", "kill")
+
+
+class Promoter:
+    def __init__(self, metrics):
+        self.metrics = metrics
+        self._c_observations = metrics.counter("promoter.observations")
+        self._g_split = metrics.gauge("promoter.traffic_split")
+        self._c_events = {
+            kind: metrics.counter(f"promoter.{kind}") for kind in EVENT_KINDS
+        }
+
+    def observe(self, value):
+        # hot path touches only owned objects
+        self._c_observations.inc()
+        self._g_split.set(value)
+
+    def _event(self, kind):
+        self._c_events[kind].inc()
+
+    def day_boundary(self):
+        # snapshots belong at day/merge boundaries, not request paths
+        return self.metrics.snapshot()

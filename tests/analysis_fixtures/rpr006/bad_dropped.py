@@ -1,0 +1,17 @@
+"""RPR006 bad: submit results dropped on the floor — the pre-suppression
+sharding.py dispatch shape."""
+
+import numpy as np
+
+
+def dispatch(engine, resolved, keys):
+    if any(key is not None for key in keys):
+        for row, key in zip(resolved, keys):
+            engine.submit(row, key=key)  # finding
+    else:
+        engine.submit_batch(np.asarray(resolved))  # finding
+    return engine.drain()
+
+
+def fire_and_forget(backend, shard, row):
+    backend.submit_to(shard, len, row)  # finding

@@ -1,0 +1,20 @@
+"""RPR006 good: every submit result is stored, returned, or resolved."""
+
+
+def stored(engine, rows):
+    rids = [engine.submit(row) for row in rows]
+    return rids
+
+
+def returned(engine, row):
+    return engine.submit(row)
+
+
+def resolved(backend, row):
+    out = backend.submit(len, row).result()
+    return out
+
+
+def assigned(engine, batch):
+    rids = engine.submit_batch(batch)
+    del rids

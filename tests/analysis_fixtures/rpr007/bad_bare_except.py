@@ -1,0 +1,8 @@
+"""RPR007 bad: bare except — banned everywhere, any segment."""
+
+
+def risky(fn):
+    try:
+        return fn()
+    except:  # finding: bare except  # noqa: E722
+        return None

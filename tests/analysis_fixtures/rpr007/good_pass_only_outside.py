@@ -1,0 +1,9 @@
+"""RPR007: the pass-only-handler half is scoped to serving/runtime —
+best-effort cleanup elsewhere may legitimately tolerate failure."""
+
+
+def best_effort_rmtree(path, shutil):
+    try:
+        shutil.rmtree(path)
+    except OSError:  # no finding: not a serving/runtime module
+        pass

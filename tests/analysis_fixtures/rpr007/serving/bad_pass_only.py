@@ -1,0 +1,16 @@
+"""RPR007 bad (serving segment): pass-only handlers swallow failures —
+the pre-suppression engine.py/shm.py shapes."""
+
+
+def reap(ranges, record):
+    try:
+        ranges.remove(record)
+    except ValueError:  # finding: swallowed in a serving path
+        pass
+
+
+def unlink(segment):
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # finding: docstring body is still a no-op
+        """already unlinked"""

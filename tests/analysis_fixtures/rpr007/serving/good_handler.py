@@ -1,0 +1,22 @@
+"""RPR007 good (serving segment): failures propagate or are recorded."""
+
+
+def reap(ranges, record, dropped_counter):
+    try:
+        ranges.remove(record)
+    except ValueError:
+        dropped_counter.inc()
+
+
+def route(future, fn):
+    try:
+        future.set_result(fn())
+    except RuntimeError as exc:
+        future.set_exception(exc)
+
+
+def reraise(fn):
+    try:
+        return fn()
+    except ValueError:
+        raise

@@ -1,0 +1,7 @@
+"""A suppression naming a code no rule owns is reported under RPR000."""
+
+import time
+
+
+def profile() -> float:
+    return time.perf_counter()  # repro: allow[RPR999]

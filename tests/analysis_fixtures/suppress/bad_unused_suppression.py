@@ -1,0 +1,6 @@
+"""A suppression that matches no finding is itself a finding (RPR000)
+— stale allow comments cannot accumulate."""
+
+
+def clean() -> int:
+    return 1  # repro: allow[RPR001]

@@ -1,0 +1,17 @@
+"""Suppression fixtures: a real violation silenced by an audited
+allow comment yields zero findings."""
+
+import time
+
+
+def profile() -> float:
+    return time.perf_counter()  # repro: allow[RPR001]
+
+
+def multi(backend, row):
+    backend.submit(time.sleep, row)  # repro: allow[RPR001, RPR006]
+
+
+def not_a_comment() -> str:
+    # an allow-shaped *string* must never suppress anything
+    return "# repro: allow[RPR001]"
